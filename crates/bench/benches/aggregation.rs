@@ -1,0 +1,81 @@
+//! Criterion: engine-level aggregation — tree vs tree+IMM vs split on an
+//! unshaped local cluster (pure engine + codec overheads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparker_engine::cluster::LocalCluster;
+use sparker_engine::config::ClusterSpec;
+use sparker_engine::dataset::Dataset;
+use sparker_engine::ops::split_aggregate::SplitAggOpts;
+use sparker_engine::ops::tree_aggregate::TreeAggOpts;
+use sparker_net::codec::F64Array;
+
+fn make_data(cluster: &LocalCluster, elems: usize) -> Dataset<Vec<f64>> {
+    let data = cluster
+        .generate(8, move |p| vec![vec![p as f64; elems]; 1])
+        .cache();
+    data.count().unwrap();
+    data
+}
+
+fn seq(mut acc: F64Array, v: &Vec<f64>) -> F64Array {
+    for (a, x) in acc.0.iter_mut().zip(v) {
+        *a += *x;
+    }
+    acc
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let cluster = LocalCluster::new(ClusterSpec::local(4, 2));
+    let mut g = c.benchmark_group("aggregation_unshaped");
+    g.sample_size(10);
+    for &elems in &[4096usize, 128 * 1024] {
+        let data = make_data(&cluster, elems);
+        g.throughput(Throughput::Bytes((elems * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("tree", elems), &data, |b, data| {
+            b.iter(|| {
+                data.tree_aggregate(
+                    F64Array(vec![0.0; elems]),
+                    seq,
+                    |mut a, bb| {
+                        sparker::dense::merge(&mut a, bb);
+                        a
+                    },
+                    TreeAggOpts::default(),
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tree_imm", elems), &data, |b, data| {
+            b.iter(|| {
+                data.tree_aggregate(
+                    F64Array(vec![0.0; elems]),
+                    seq,
+                    |mut a, bb| {
+                        sparker::dense::merge(&mut a, bb);
+                        a
+                    },
+                    TreeAggOpts { depth: 2, imm: true },
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("split", elems), &data, |b, data| {
+            b.iter(|| {
+                data.split_aggregate(
+                    F64Array(vec![0.0; elems]),
+                    seq,
+                    sparker::dense::merge,
+                    sparker::dense::split,
+                    sparker::dense::merge_segments,
+                    sparker::dense::concat,
+                    SplitAggOpts::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

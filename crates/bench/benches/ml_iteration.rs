@@ -1,0 +1,57 @@
+//! Criterion: one gradient-descent iteration of each model family — the
+//! unit of work every end-to-end figure multiplies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparker_data::synth::{ClassificationGen, CorpusGen};
+use sparker_engine::cluster::LocalCluster;
+use sparker_ml::glm::{run_gradient_descent, GdConfig, GradientKind};
+use sparker_ml::lda::{train as lda_train, LdaConfig};
+use sparker_ml::point::LabeledPoint;
+
+fn bench_ml(c: &mut Criterion) {
+    let cluster = LocalCluster::local(2, 2);
+    let mut g = c.benchmark_group("ml_iteration");
+    g.sample_size(10);
+
+    let gen = ClassificationGen::new(5, 256, 10);
+    let lr_data = {
+        let g2 = gen.clone();
+        cluster
+            .generate(4, move |p| {
+                g2.partition(p, 4, 2000).into_iter().map(LabeledPoint::from).collect()
+            })
+            .cache()
+    };
+    lr_data.count().unwrap();
+    g.bench_function("logistic_iteration_2000x256", |b| {
+        b.iter(|| {
+            run_gradient_descent(
+                &lr_data,
+                256,
+                GradientKind::Logistic,
+                GdConfig { iterations: 1, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+
+    let corpus = CorpusGen::new(7, 500, 5, 80);
+    let lda_data = {
+        let g2 = corpus.clone();
+        cluster.generate(4, move |p| g2.partition(p, 4, 100)).cache()
+    };
+    lda_data.count().unwrap();
+    g.bench_function("lda_iteration_100docs_k5_v500", |b| {
+        b.iter(|| {
+            lda_train(
+                &lda_data,
+                LdaConfig { iterations: 1, ..LdaConfig::new(5, 500) },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation — allreduce vs split aggregation (the extension addressing the
+//! paper's §6 limitation that the driver becomes the next bottleneck).
+//!
+//! Split aggregation still funnels one aggregator into the driver per
+//! iteration and broadcasts the model back. Allreduce leaves the reduced
+//! value resident on every executor; the driver gets a single monitoring
+//! copy. This harness compares their reduce times and driver traffic on
+//! the shaped threaded engine.
+
+use sparker_bench::{fmt_secs, print_header, Table};
+use sparker_engine::cluster::LocalCluster;
+use sparker_engine::config::ClusterSpec;
+use sparker_engine::ops::split_aggregate::SplitAggOpts;
+use sparker_net::codec::F64Array;
+
+fn main() {
+    print_header(
+        "Ablation: allreduce extension",
+        "Split aggregation (gather to driver) vs allreduce (resident everywhere)",
+        "Same IMM + ring reduce-scatter; allreduce swaps the driver gather for an\n\
+         allgather. Driver bytes stop depending on anything.",
+    );
+    const SCALE: f64 = 16.0;
+    let mut t = Table::new(vec![
+        "Paper size",
+        "Nodes",
+        "Split reduce",
+        "Allreduce reduce",
+        "Split driver KiB",
+        "Allreduce driver KiB",
+    ]);
+    for (label, paper_bytes) in [("8MB", 8.0 * 1024.0 * 1024.0), ("64MB", 64.0 * 1024.0 * 1024.0)] {
+        for nodes in [2usize, 4] {
+            let elems = (paper_bytes / SCALE / 8.0) as usize;
+            let cluster = LocalCluster::new(ClusterSpec::bic(nodes, SCALE).with_shape(2, 2));
+            let partitions = 2 * cluster.num_executors();
+            let data = cluster
+                .generate(partitions, move |p| vec![vec![p as f64; elems]; 1])
+                .cache();
+            data.count().unwrap();
+            let seq = move |mut acc: F64Array, v: &Vec<f64>| {
+                for (a, x) in acc.0.iter_mut().zip(v) {
+                    *a += *x;
+                }
+                acc
+            };
+            let (_, split) = data
+                .split_aggregate(
+                    F64Array(vec![0.0; elems]),
+                    seq,
+                    sparker::dense::merge,
+                    sparker::dense::split,
+                    sparker::dense::merge_segments,
+                    sparker::dense::concat,
+                    SplitAggOpts::default(),
+                )
+                .unwrap();
+            let out = data
+                .allreduce_aggregate(
+                    F64Array(vec![0.0; elems]),
+                    seq,
+                    sparker::dense::merge,
+                    sparker::dense::split,
+                    sparker::dense::merge_segments,
+                    sparker::dense::concat,
+                    None,
+                )
+                .unwrap();
+            t.row(vec![
+                label.to_string(),
+                nodes.to_string(),
+                fmt_secs(split.reduce.as_secs_f64()),
+                fmt_secs(out.metrics.reduce.as_secs_f64()),
+                (split.bytes_to_driver / 1024).to_string(),
+                (out.metrics.bytes_to_driver / 1024).to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("\n(allreduce moves more data between executors — the allgather — but frees the");
+    println!(" driver; in iterative training it also replaces the next broadcast)");
+    let path = t.write_csv("ablation_allreduce").expect("csv");
+    println!("wrote {}", path.display());
+}

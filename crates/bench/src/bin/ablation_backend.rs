@@ -1,0 +1,106 @@
+//! Ablation — backend cross-check (DESIGN.md §4.1).
+//!
+//! The threaded engine and the discrete-event simulator consume the same
+//! network profiles and execute the same algorithm step structure; this
+//! harness runs the same (size, nodes) matrix through both and compares the
+//! tree/split speedup each reports. Agreement in *shape* (ordering, growth
+//! direction) is the pass criterion — absolute times differ by design
+//! (the threaded engine also pays real memory traffic).
+
+use sparker_bench::{print_header, Table};
+use sparker_engine::cluster::LocalCluster;
+use sparker_engine::config::ClusterSpec;
+use sparker_engine::ops::split_aggregate::SplitAggOpts;
+use sparker_engine::ops::tree_aggregate::TreeAggOpts;
+use sparker_net::codec::F64Array;
+use sparker_sim::aggsim::{simulate_aggregation, Strategy};
+use sparker_sim::cluster::SimCluster;
+
+fn threaded_ratio(nodes: usize, elems: usize) -> f64 {
+    const SCALE: f64 = 16.0;
+    let run = |which: &str| -> f64 {
+        let cluster = LocalCluster::new(ClusterSpec::bic(nodes, SCALE).with_shape(2, 2));
+        let partitions = 2 * cluster.num_executors() * 2;
+        let data = cluster
+            .generate(partitions, move |p| vec![vec![p as f64; elems]; 1])
+            .cache();
+        data.count().unwrap();
+        let seq = move |mut acc: F64Array, v: &Vec<f64>| {
+            for (a, x) in acc.0.iter_mut().zip(v) {
+                *a += *x;
+            }
+            acc
+        };
+        let zero = F64Array(vec![0.0; elems]);
+        if which == "tree" {
+            data.tree_aggregate(
+                zero,
+                seq,
+                |mut a, b| {
+                    sparker::dense::merge(&mut a, b);
+                    a
+                },
+                TreeAggOpts::default(),
+            )
+            .unwrap()
+            .1
+            .total()
+            .as_secs_f64()
+        } else {
+            data.split_aggregate(
+                zero,
+                seq,
+                sparker::dense::merge,
+                sparker::dense::split,
+                sparker::dense::merge_segments,
+                sparker::dense::concat,
+                SplitAggOpts::default(),
+            )
+            .unwrap()
+            .1
+            .total()
+            .as_secs_f64()
+        }
+    };
+    run("tree") / run("split")
+}
+
+fn main() {
+    print_header(
+        "Ablation: backend",
+        "Tree/Split speedup — threaded engine vs discrete-event simulator",
+        "Pass criterion: both backends agree that the speedup grows with aggregator size\n\
+         and stays >= 1 everywhere.",
+    );
+    let mut t = Table::new(vec!["Paper size", "Nodes", "Threaded ratio", "Simulated ratio"]);
+    let mut ok = true;
+    for (label, paper_bytes) in [("8MB", 8.0 * 1024.0 * 1024.0), ("64MB", 64.0 * 1024.0 * 1024.0)]
+    {
+        for nodes in [1usize, 2, 4] {
+            let elems = (paper_bytes / 16.0 / 8.0) as usize;
+            let threaded = threaded_ratio(nodes, elems);
+            let c = SimCluster::bic().with_nodes(nodes);
+            let parts = 4 * c.executors();
+            let sim_tree = simulate_aggregation(&c, Strategy::Tree, paper_bytes, parts, 0.05);
+            let sim_split = simulate_aggregation(
+                &c,
+                Strategy::Split { parallelism: 4, topology_aware: true },
+                paper_bytes,
+                parts,
+                0.05,
+            );
+            let simulated = sim_tree.total() / sim_split.total();
+            ok &= threaded >= 1.0 && simulated >= 1.0;
+            t.row(vec![
+                label.to_string(),
+                nodes.to_string(),
+                format!("{threaded:.2}x"),
+                format!("{simulated:.2}x"),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nbackends agree on split >= tree everywhere: {}", if ok { "YES" } else { "NO" });
+    let path = t.write_csv("ablation_backend").expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,69 @@
+//! Ablation — attacking the paper's §6 open problem.
+//!
+//! "Another limitation of this work is that we just remove the reduction
+//! bottleneck for Spark. But as shown in Figure 18, the driver overhead
+//! becomes the new bottleneck, which deserves further investigation."
+//!
+//! This harness runs that investigation at paper scale through the
+//! simulator: LDA-N on AWS with (a) vanilla Spark, (b) Sparker, and
+//! (c) Sparker + the allreduce extension, where the reduced model stays
+//! resident on executors — no per-iteration driver fan-in, no model
+//! broadcast, executor-side update.
+
+use sparker_bench::{print_header, Table};
+use sparker_sim::aggsim::Strategy;
+use sparker_sim::cluster::SimCluster;
+use sparker_sim::mlrun::simulate_training;
+use sparker_sim::workloads::by_name;
+
+fn main() {
+    print_header(
+        "Ablation: driver bottleneck (paper §6)",
+        "LDA-N on AWS, 15 iterations: Spark vs Sparker vs Sparker+allreduce",
+        "Totals per run; 'driver+non-agg' is the non-scalable share Sparker leaves behind\n\
+         and the allreduce extension attacks.",
+    );
+    let w = by_name("LDA-N").expect("workload");
+    let split = Strategy::Split { parallelism: 4, topology_aware: true };
+    let allred = Strategy::SplitAllReduce { parallelism: 4, topology_aware: true };
+    let mut t = Table::new(vec![
+        "Cores",
+        "Spark total",
+        "Sparker total",
+        "+Allreduce total",
+        "Sparker driver+non-agg",
+        "+Allreduce driver+non-agg",
+    ]);
+    for cores in [96usize, 240, 480, 960] {
+        let c = SimCluster::aws().shaped_for_cores(cores);
+        let spark = simulate_training(&c, &w, Strategy::Tree, Some(15));
+        let sparker = simulate_training(&c, &w, split, Some(15));
+        let ext = simulate_training(&c, &w, allred, Some(15));
+        t.row(vec![
+            cores.to_string(),
+            format!("{:.1}s", spark.total()),
+            format!("{:.1}s", sparker.total()),
+            format!("{:.1}s", ext.total()),
+            format!("{:.1}s", sparker.driver + sparker.non_agg),
+            format!("{:.1}s", ext.driver + ext.non_agg),
+        ]);
+    }
+    t.print();
+    let c = SimCluster::aws();
+    let sparker = simulate_training(&c, &w, split, Some(15));
+    let ext = simulate_training(&c, &w, allred, Some(15));
+    println!(
+        "\nfinding: at 960 cores the extension removes only {:.1}s (model fan-in + broadcast\n\
+         + update) of Sparker's {:.1}s driver/non-agg share — the dominant remaining cost is\n\
+         per-task scheduling ({} tasks x ~1ms per iteration), which neither split aggregation\n\
+         nor allreduce touches. The paper's \"driver deserves further investigation\" points at\n\
+         the scheduler, not the data path. (Allreduce also pays ~2x ring traffic, so its\n\
+         end-to-end total is slightly higher; its win materializes when the model no longer\n\
+         fits the driver or broadcast dominates.)",
+        (sparker.driver + sparker.non_agg) - (ext.driver + ext.non_agg),
+        sparker.driver + sparker.non_agg,
+        sparker_sim::mlrun::default_partitions(&c),
+    );
+    let path = t.write_csv("ablation_driver_bottleneck").expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Ablation — what In-Memory Merge actually saves (DESIGN.md §4.2).
+//!
+//! IMM's benefit is measured in *bytes never serialized*: without it, every
+//! task result crosses the codec; with it, one aggregator per executor does.
+//! This harness runs the unshaped engine (so byte counters, not wall time,
+//! are the signal) and prints serialized-byte and message counts per
+//! strategy at several partition counts.
+
+use sparker_bench::{print_header, Table};
+use sparker_engine::cluster::LocalCluster;
+use sparker_engine::config::ClusterSpec;
+use sparker_engine::ops::split_aggregate::SplitAggOpts;
+use sparker_engine::ops::tree_aggregate::TreeAggOpts;
+use sparker_net::codec::F64Array;
+
+fn main() {
+    print_header(
+        "Ablation: IMM serialized bytes",
+        "Serialized bytes & messages per aggregation strategy (unshaped engine)",
+        "Aggregator = 1 MiB of f64. IMM shrinks serialized volume from O(partitions) to\n\
+         O(executors); split aggregation shrinks driver traffic to O(1) aggregators.",
+    );
+    let elems = 128 * 1024; // 1 MiB
+    let cluster = LocalCluster::new(ClusterSpec::local(4, 2));
+    let mut t = Table::new(vec![
+        "Partitions",
+        "Strategy",
+        "Ser MiB",
+        "Messages",
+        "Driver MiB",
+    ]);
+    for partitions in [8usize, 32, 128] {
+        let data = cluster
+            .generate(partitions, move |p| vec![vec![p as f64; elems]; 1])
+            .cache();
+        data.count().unwrap();
+        let seq = move |mut acc: F64Array, v: &Vec<f64>| {
+            for (a, x) in acc.0.iter_mut().zip(v) {
+                *a += *x;
+            }
+            acc
+        };
+        let zero = F64Array(vec![0.0; elems]);
+        let mib = |b: u64| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
+        for (name, imm) in [("tree", false), ("tree+imm", true)] {
+            let (_, m) = data
+                .tree_aggregate(
+                    zero.clone(),
+                    seq,
+                    |mut a, b| {
+                        sparker::dense::merge(&mut a, b);
+                        a
+                    },
+                    TreeAggOpts { depth: 2, imm },
+                )
+                .unwrap();
+            t.row(vec![
+                partitions.to_string(),
+                name.to_string(),
+                mib(m.ser_bytes),
+                m.messages.to_string(),
+                mib(m.bytes_to_driver),
+            ]);
+        }
+        let (_, m) = data
+            .split_aggregate(
+                zero,
+                seq,
+                sparker::dense::merge,
+                sparker::dense::split,
+                sparker::dense::merge_segments,
+                sparker::dense::concat,
+                SplitAggOpts::default(),
+            )
+            .unwrap();
+        t.row(vec![
+            partitions.to_string(),
+            "split".to_string(),
+            mib(m.ser_bytes),
+            m.messages.to_string(),
+            mib(m.bytes_to_driver),
+        ]);
+    }
+    t.print();
+    let path = t.write_csv("ablation_imm_bytes").expect("csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Figure 4 — decomposed end-to-end time of LDA-N with 4..960 cores on AWS
+//! (vanilla Spark, 15 iterations).
+//!
+//! Paper: compute 272s → 58s (4.66x) while reduction rises 26s → 111s
+//! (4.22x); the reduction share grows from 7% to 45% of end-to-end time.
+
+use sparker_bench::{print_header, Table};
+use sparker_sim::aggsim::Strategy;
+use sparker_sim::cluster::SimCluster;
+use sparker_sim::mlrun::simulate_training;
+use sparker_sim::workloads::by_name;
+
+fn main() {
+    print_header(
+        "Figure 4",
+        "Decomposed end-to-end time of LDA-N vs cores on AWS (Spark)",
+        "Paper reference: compute 272s->58s; reduce 26s->111s; reduce share 7%->45%.",
+    );
+    let w = by_name("LDA-N").expect("workload");
+    // Below one node the paper shrinks executors to 4 cores each.
+    let intra = SimCluster::aws().with_executors(24, 4);
+    let mut t = Table::new(vec![
+        "Cores",
+        "Driver (s)",
+        "Non-agg (s)",
+        "Agg-compute (s)",
+        "Agg-reduce (s)",
+        "Reduce share",
+    ]);
+    for cores in [8usize, 24, 48, 96, 192, 384, 960] {
+        let c = if cores <= 96 {
+            intra.shaped_for_cores(cores)
+        } else {
+            SimCluster::aws().shaped_for_cores(cores)
+        };
+        let b = simulate_training(&c, &w, Strategy::Tree, Some(15));
+        t.row(vec![
+            cores.to_string(),
+            format!("{:.0}", b.driver),
+            format!("{:.0}", b.non_agg),
+            format!("{:.0}", b.agg_compute),
+            format!("{:.0}", b.agg_reduce),
+            format!("{:.0}%", b.agg_reduce / b.total() * 100.0),
+        ]);
+    }
+    t.print();
+    let path = t.write_csv("fig04_lda_aws_scaling").expect("csv");
+    println!("\nwrote {}", path.display());
+}

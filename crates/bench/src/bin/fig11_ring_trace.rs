@@ -1,0 +1,39 @@
+//! Figure 11 — the ring-based reduce-scatter walkthrough.
+//!
+//! Reproduces the paper's 4-executor example live on the real collectives
+//! code: executor i contributes V_i, segment j of the result lands on
+//! executor (j + N − 1) mod N fully reduced after N−1 iterations.
+
+use sparker_bench::print_header;
+use sparker_collectives::ring::ring_reduce_scatter;
+use sparker_collectives::segment::U64SumSegment;
+use sparker_collectives::testing::{run_ring_cluster, RingClusterSpec};
+
+fn main() {
+    print_header(
+        "Figure 11",
+        "Ring-based reduce-scatter (live trace of the paper's 4-executor example)",
+        "Each rank starts with V_i split into 4 segments V_{i,0..3}; after 3 iterations\n\
+         each rank owns one fully-reduced segment.",
+    );
+    let spec = RingClusterSpec::unshaped(1, 4, 1);
+    let n = 4;
+    println!("initial state: executor i holds V_i with V_{{i,j}} = 10*(i+1) + j\n");
+    let per_rank = run_ring_cluster(&spec, |comm| {
+        let segs: Vec<U64SumSegment> = (0..n)
+            .map(|j| U64SumSegment(vec![10 * (comm.rank() as u64 + 1) + j as u64]))
+            .collect();
+        ring_reduce_scatter(&comm, segs).unwrap()
+    });
+    for (rank, owned) in per_rank.iter().enumerate() {
+        for o in owned {
+            let expected: u64 = (0..n as u64).map(|i| 10 * (i + 1) + o.index as u64).sum();
+            println!(
+                "executor {rank} owns segment {}: value {} (= sum over ranks: {expected})",
+                o.index, o.segment.0[0]
+            );
+            assert_eq!(o.segment.0[0], expected);
+        }
+    }
+    println!("\nall segments reduced exactly once — matches Figure 11's final state.");
+}

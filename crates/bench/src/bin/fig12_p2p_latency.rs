@@ -1,0 +1,74 @@
+//! Figure 12 — point-to-point latency: BlockManager-based messaging vs the
+//! scalable communicator vs MPI.
+//!
+//! Two modes, both reported:
+//! * **measured** — real ping-pong over the in-process transports with BIC
+//!   shaping enforced by the precise waiter;
+//! * **model** — the closed-form profile numbers the simulator uses.
+//!
+//! Paper reference (BIC): MPI 15.94 µs, SC 72.73 µs (4.56×), BM 3861.25 µs
+//! (242×).
+
+use std::sync::Arc;
+
+use sparker_bench::{print_header, Table};
+use sparker_net::bench::measure_latency;
+use sparker_net::blockmanager::BlockManagerTransport;
+use sparker_net::profile::{NetProfile, TransportKind};
+use sparker_net::topology::round_robin_layout;
+use sparker_net::transport::{MeshTransport, Transport};
+use sparker_sim::cluster::SimCluster;
+use sparker_sim::p2p::latency;
+
+fn main() {
+    print_header(
+        "Figure 12",
+        "Point-to-point one-way latency on BIC: BM vs SC vs MPI",
+        "Paper reference: MPI 15.94us; SC 72.73us (4.56x MPI); BM 3861.25us (242x MPI).",
+    );
+    // One executor per node so the path is inter-node.
+    let execs = round_robin_layout(2, 1, 1);
+    let profile = NetProfile::bic();
+    let iters = 200;
+
+    let mpi = MeshTransport::new(&execs, 1, profile.clone(), TransportKind::MpiRef);
+    let sc = MeshTransport::new(&execs, 1, profile.clone(), TransportKind::ScalableComm);
+    let bm_wire = MeshTransport::new(&execs, 1, profile.clone(), TransportKind::MpiRef);
+    let bm = BlockManagerTransport::with_default_costs(bm_wire);
+
+    let measured = [
+        ("MPI", measure_latency(mpi as Arc<dyn Transport>, 8, 20, iters)),
+        ("SC", measure_latency(sc as Arc<dyn Transport>, 8, 20, iters)),
+        ("BM", measure_latency(bm as Arc<dyn Transport>, 8, 20, 50)),
+    ];
+
+    let sim = SimCluster::bic();
+    let modeled = [
+        ("MPI", latency(&sim, TransportKind::MpiRef)),
+        ("SC", latency(&sim, TransportKind::ScalableComm)),
+        ("BM", latency(&sim, TransportKind::BlockManager)),
+    ];
+
+    let mut t = Table::new(vec![
+        "Transport",
+        "Measured (us)",
+        "Model (us)",
+        "Paper (us)",
+        "x MPI (measured)",
+    ]);
+    let paper = [15.94, 72.73, 3861.25];
+    let mpi_us = measured[0].1.one_way.as_secs_f64() * 1e6;
+    for i in 0..3 {
+        let m_us = measured[i].1.one_way.as_secs_f64() * 1e6;
+        t.row(vec![
+            measured[i].0.to_string(),
+            format!("{m_us:.2}"),
+            format!("{:.2}", modeled[i].1 * 1e6),
+            format!("{:.2}", paper[i]),
+            format!("{:.1}x", m_us / mpi_us),
+        ]);
+    }
+    t.print();
+    let path = t.write_csv("fig12_p2p_latency").expect("csv");
+    println!("\nwrote {}", path.display());
+}

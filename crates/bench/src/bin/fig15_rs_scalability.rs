@@ -1,0 +1,58 @@
+//! Figure 15 — scalability of the scalable communicator's reduce-scatter,
+//! with MPI as the reference, at 256 KB and 256 MB message sizes.
+//!
+//! Paper reference: at 256 MB time grows 784 ms → 993 ms (1.27×) from 6 to
+//! 48 executors; at 256 KB it grows 1.51 ms → 7.98 ms (5.30×, latency
+//! bound). The communicator scales *better* than this MPI implementation,
+//! which picks a latency-linear algorithm.
+
+use sparker_bench::{fmt_secs, print_header, Table};
+use sparker_sim::aggsim::{mpi_reduce_scatter, simulate_reduce_scatter};
+use sparker_sim::cluster::SimCluster;
+
+fn main() {
+    print_header(
+        "Figure 15",
+        "Reduce-scatter scalability: SC vs MPI, 256KB and 256MB",
+        "Paper reference: 256MB 784ms->993ms (1.27x); 256KB 1.51ms->7.98ms (5.30x).",
+    );
+    let kb = 256.0 * 1024.0;
+    let mb = 256.0 * 1024.0 * 1024.0;
+    let mut t = Table::new(vec![
+        "Executors",
+        "SC 256KB",
+        "MPI 256KB",
+        "SC 256MB",
+        "MPI 256MB",
+    ]);
+    let mut first = None;
+    let mut last = None;
+    for e in [6usize, 12, 24, 48] {
+        // The paper's sweep spreads executors over the fixed 8-node cluster.
+        let c = SimCluster::bic().with_total_executors(e);
+        let sc_small = simulate_reduce_scatter(&c, kb, 4, true);
+        let sc_large = simulate_reduce_scatter(&c, mb, 4, true);
+        if e == 6 {
+            first = Some((sc_small, sc_large));
+        }
+        if e == 48 {
+            last = Some((sc_small, sc_large));
+        }
+        t.row(vec![
+            e.to_string(),
+            fmt_secs(sc_small),
+            fmt_secs(mpi_reduce_scatter(&c, kb)),
+            fmt_secs(sc_large),
+            fmt_secs(mpi_reduce_scatter(&c, mb)),
+        ]);
+    }
+    t.print();
+    let (f, l) = (first.unwrap(), last.unwrap());
+    println!(
+        "\nSC growth 6->48 executors: 256KB {:.2}x (paper 5.30x); 256MB {:.2}x (paper 1.27x)",
+        l.0 / f.0,
+        l.1 / f.1
+    );
+    let path = t.write_csv("fig15_rs_scalability").expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Figure 18 — strong scalability and time decomposition of LDA-N on AWS:
+//! Spark (left bar) vs Sparker (right bar) at each core count.
+//!
+//! Paper reference: at 8 cores reduction 26.36 s vs 6.29 s (4.19×); at 960
+//! cores 111.26 s vs 15.41 s (7.22×); Sparker's compute also drops at scale
+//! (IMM removes serialization); the driver becomes the new bottleneck.
+
+use sparker_bench::{print_header, Table};
+use sparker_sim::aggsim::Strategy;
+use sparker_sim::cluster::SimCluster;
+use sparker_sim::mlrun::simulate_training;
+use sparker_sim::workloads::by_name;
+
+fn main() {
+    print_header(
+        "Figure 18",
+        "Strong scalability of LDA-N on AWS: Spark vs Sparker decomposition",
+        "Paper reference: reduce speedup 4.19x @8 cores -> 7.22x @960 cores; driver becomes\n\
+         the new bottleneck at scale.",
+    );
+    let w = by_name("LDA-N").expect("workload");
+    let split = Strategy::Split { parallelism: 4, topology_aware: true };
+    let intra = SimCluster::aws().with_executors(24, 4);
+    let mut t = Table::new(vec![
+        "Cores",
+        "Spark compute",
+        "Sparker compute",
+        "Spark reduce",
+        "Sparker reduce",
+        "Reduce speedup",
+        "Sparker driver",
+    ]);
+    for cores in [8usize, 24, 96, 240, 480, 960] {
+        let c = if cores <= 96 {
+            intra.shaped_for_cores(cores)
+        } else {
+            SimCluster::aws().shaped_for_cores(cores)
+        };
+        let spark = simulate_training(&c, &w, Strategy::Tree, Some(15));
+        let sparker = simulate_training(&c, &w, split, Some(15));
+        t.row(vec![
+            cores.to_string(),
+            format!("{:.1}", spark.agg_compute),
+            format!("{:.1}", sparker.agg_compute),
+            format!("{:.1}", spark.agg_reduce),
+            format!("{:.1}", sparker.agg_reduce),
+            format!("{:.2}x", spark.agg_reduce / sparker.agg_reduce),
+            format!("{:.1}", sparker.driver),
+        ]);
+    }
+    t.print();
+    let path = t.write_csv("fig18_strong_scaling").expect("csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Table 1 — configuration of the two evaluation clusters.
+
+use sparker_bench::{print_header, Table};
+use sparker_sim::cluster::SimCluster;
+
+fn main() {
+    print_header(
+        "Table 1",
+        "Configuration of the two clusters used for experiments",
+        "Paper: BIC = 8-node 100Gbps IPoIB in-house cluster; AWS = 10x m5d.24xlarge, 25Gbps.",
+    );
+    let bic = SimCluster::bic();
+    let aws = SimCluster::aws();
+    let mb = 1024.0 * 1024.0;
+    let mut t = Table::new(vec!["Configuration", "BIC", "AWS"]);
+    t.row(vec!["Number of nodes".to_string(), bic.nodes.to_string(), aws.nodes.to_string()]);
+    t.row(vec![
+        "Executors per node".to_string(),
+        bic.executors_per_node.to_string(),
+        aws.executors_per_node.to_string(),
+    ]);
+    t.row(vec![
+        "Executor cores".to_string(),
+        bic.cores_per_executor.to_string(),
+        aws.cores_per_executor.to_string(),
+    ]);
+    t.row(vec![
+        "Total executors".to_string(),
+        bic.executors().to_string(),
+        aws.executors().to_string(),
+    ]);
+    t.row(vec![
+        "Total cores".to_string(),
+        bic.total_cores().to_string(),
+        aws.total_cores().to_string(),
+    ]);
+    t.row(vec![
+        "Effective line rate (MB/s)".to_string(),
+        format!("{:.0}", bic.profile.nic_bandwidth / mb),
+        format!("{:.0}", aws.profile.nic_bandwidth / mb),
+    ]);
+    t.row(vec![
+        "Single-stream cap (MB/s)".to_string(),
+        format!("{:.0}", bic.profile.per_channel_bandwidth / mb),
+        format!("{:.0}", aws.profile.per_channel_bandwidth / mb),
+    ]);
+    t.row(vec![
+        "Inter-node latency (us)".to_string(),
+        format!("{:.0}", bic.profile.inter_node.latency.as_secs_f64() * 1e6),
+        format!("{:.0}", aws.profile.inter_node.latency.as_secs_f64() * 1e6),
+    ]);
+    t.print();
+    let path = t.write_csv("tab1_clusters").expect("csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! Table 2 — the real-world datasets and their synthetic stand-ins.
+
+use sparker_bench::{print_header, Table};
+use sparker_data::profiles::{all_profiles, TaskKind};
+
+fn main() {
+    print_header(
+        "Table 2",
+        "Real-world datasets used in the experiment (synthetic stand-ins)",
+        "Shapes match the paper; `scale`/`feature_scale` shrink them for local runs.",
+    );
+    let mut t = Table::new(vec![
+        "Dataset",
+        "Samples/Docs",
+        "Features/Vocab",
+        "nnz/sample",
+        "Task",
+        "GLM agg (MiB)",
+    ]);
+    let mb = 1024.0 * 1024.0;
+    for p in all_profiles() {
+        let task = match p.task {
+            TaskKind::Classification => "classification",
+            TaskKind::TopicModel => "topic model",
+        };
+        let agg = match p.task {
+            TaskKind::Classification => format!("{:.1}", p.glm_aggregator_bytes() as f64 / mb),
+            TaskKind::TopicModel => {
+                format!("{:.1} (LDA K=100)", p.lda_aggregator_bytes(100) as f64 / mb)
+            }
+        };
+        t.row(vec![
+            p.name.to_string(),
+            p.paper_samples.to_string(),
+            p.paper_features.to_string(),
+            p.nnz_per_sample.to_string(),
+            task.to_string(),
+            agg,
+        ]);
+    }
+    t.print();
+    let path = t.write_csv("tab2_datasets").expect("csv");
+    println!("\nwrote {}", path.display());
+}

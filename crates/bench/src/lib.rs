@@ -1,0 +1,157 @@
+//! Shared infrastructure for the figure/table harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//! it prints an aligned text table of the same series the paper plots, notes
+//! the paper's reference numbers next to ours, and (optionally) drops a CSV
+//! under `results/` for external plotting.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Prints the standard harness header for a figure/table binary.
+pub fn print_header(id: &str, title: &str, note: &str) {
+    println!("==================================================================");
+    println!("{id} — {title}");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!("==================================================================");
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with per-column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", c, w = width[i]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", c, w = width[i]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats seconds compactly (µs/ms/s) for table cells.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.2}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats a byte count as a power-of-two unit string.
+pub fn fmt_bytes(b: f64) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    if b >= MB {
+        format!("{:.0}MB", b / MB)
+    } else if b >= KB {
+        format!("{:.0}KB", b / KB)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+/// Geometric mean (duplicated from sparker-sim for bin convenience).
+pub fn geo_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(5e-6), "5.00us");
+        assert_eq!(fmt_secs(0.015), "15.00ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_bytes(1024.0), "1KB");
+        assert_eq!(fmt_bytes(8.0 * 1024.0 * 1024.0), "8MB");
+        assert_eq!(fmt_bytes(100.0), "100B");
+    }
+
+    #[test]
+    fn geo_mean_matches_hand_calc() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

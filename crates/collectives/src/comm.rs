@@ -1,0 +1,149 @@
+//! Rank-bound communicator: one executor's view of the ring.
+//!
+//! Collective algorithms address peers by *ring rank*, not executor id; the
+//! mapping between the two is the topology-awareness policy (see
+//! [`sparker_net::topology`]). A [`RingComm`] owns that translation plus the
+//! per-channel send/recv primitives, so algorithm code reads like its MPI
+//! counterpart.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use sparker_net::error::NetResult;
+use sparker_net::topology::RingTopology;
+use sparker_net::transport::Transport;
+
+/// A transport bound to one ring rank.
+#[derive(Clone)]
+pub struct RingComm {
+    net: Arc<dyn Transport>,
+    ring: Arc<RingTopology>,
+    rank: usize,
+}
+
+impl RingComm {
+    /// Binds `net` to the executor occupying `rank` in `ring`.
+    pub fn new(net: Arc<dyn Transport>, ring: Arc<RingTopology>, rank: usize) -> Self {
+        assert!(rank < ring.size(), "rank {rank} out of ring of {}", ring.size());
+        assert!(
+            ring.parallelism() <= net.channels(),
+            "ring parallelism {} exceeds transport channels {}",
+            ring.parallelism(),
+            net.channels()
+        );
+        Self { net, ring, rank }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.ring.size()
+    }
+
+    /// Channel parallelism of the PDR (the paper's `P`).
+    pub fn parallelism(&self) -> usize {
+        self.ring.parallelism()
+    }
+
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// Sends to the next rank around the ring on `channel`.
+    pub fn send_next(&self, channel: usize, msg: Bytes) -> NetResult<()> {
+        self.send_to_rank(self.ring.next(self.rank), channel, msg)
+    }
+
+    /// Receives from the previous rank around the ring on `channel`.
+    pub fn recv_prev(&self, channel: usize) -> NetResult<Bytes> {
+        self.recv_from_rank(self.ring.prev(self.rank), channel)
+    }
+
+    /// Sends to an arbitrary rank (tree/halving algorithms).
+    pub fn send_to_rank(&self, rank: usize, channel: usize, msg: Bytes) -> NetResult<()> {
+        let me = self.ring.executor_at(self.rank).id;
+        let to = self.ring.executor_at(rank).id;
+        self.net.send(me, to, channel, msg)
+    }
+
+    /// Receives from an arbitrary rank.
+    pub fn recv_from_rank(&self, rank: usize, channel: usize) -> NetResult<Bytes> {
+        let me = self.ring.executor_at(self.rank).id;
+        let from = self.ring.executor_at(rank).id;
+        self.net.recv(me, from, channel)
+    }
+
+    /// Receives from an arbitrary rank with a deadline (used by tests to
+    /// turn deadlocks into failures).
+    pub fn recv_from_rank_timeout(
+        &self,
+        rank: usize,
+        channel: usize,
+        timeout: Duration,
+    ) -> NetResult<Bytes> {
+        let me = self.ring.executor_at(self.rank).id;
+        let from = self.ring.executor_at(rank).id;
+        self.net.recv_timeout(me, from, channel, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_net::topology::{round_robin_layout, RingOrder};
+    use sparker_net::transport::MeshTransport;
+
+    fn comm_pair() -> (RingComm, RingComm) {
+        let execs = round_robin_layout(2, 1, 1);
+        let net = MeshTransport::unshaped(&execs, 2);
+        let ring = Arc::new(RingTopology::new(execs, RingOrder::ById, 2));
+        (
+            RingComm::new(net.clone(), ring.clone(), 0),
+            RingComm::new(net, ring, 1),
+        )
+    }
+
+    #[test]
+    fn ring_send_recv_by_rank() {
+        let (a, b) = comm_pair();
+        a.send_next(0, Bytes::from_static(b"fwd")).unwrap();
+        assert_eq!(&b.recv_prev(0).unwrap()[..], b"fwd");
+        b.send_next(1, Bytes::from_static(b"wrap")).unwrap();
+        assert_eq!(&a.recv_prev(1).unwrap()[..], b"wrap");
+    }
+
+    #[test]
+    fn topology_aware_rank_differs_from_executor_id() {
+        // Round-robin over 2 nodes: executors 0,2 on node-000; 1,3 on node-001.
+        // Topology-aware order: [0, 2, 1, 3] => executor 2 has rank 1.
+        let execs = round_robin_layout(2, 2, 1);
+        let net = MeshTransport::unshaped(&execs, 1);
+        let ring = Arc::new(RingTopology::new(execs, RingOrder::TopologyAware, 1));
+        assert_eq!(ring.executor_at(1).id.0, 2);
+        let c = RingComm::new(net, ring, 1);
+        assert_eq!(c.rank(), 1);
+        assert_eq!(c.size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of ring")]
+    fn rank_out_of_range_panics() {
+        let execs = round_robin_layout(2, 1, 1);
+        let net = MeshTransport::unshaped(&execs, 1);
+        let ring = Arc::new(RingTopology::new(execs, RingOrder::ById, 1));
+        RingComm::new(net, ring, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds transport channels")]
+    fn parallelism_beyond_channels_panics() {
+        let execs = round_robin_layout(2, 1, 1);
+        let net = MeshTransport::unshaped(&execs, 1);
+        let ring = Arc::new(RingTopology::new(execs, RingOrder::ById, 4));
+        RingComm::new(net, ring, 0);
+    }
+}

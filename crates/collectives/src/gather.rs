@@ -1,0 +1,144 @@
+//! Gather: collecting reduce-scattered segments to a single rank.
+//!
+//! Sparker's split aggregation finishes by gathering each executor's
+//! fully-reduced segments into the driver (via Spark's `collect`), where the
+//! user's `concatOp` reassembles them (§4.2). Inside the collectives layer
+//! we provide the executor-side equivalent: gather to a chosen root rank.
+
+use sparker_net::codec::{Decoder, Encoder};
+use sparker_net::error::{NetError, NetResult};
+
+use crate::comm::RingComm;
+use crate::ring::OwnedSegment;
+use crate::segment::Segment;
+
+fn encode_owned<S: Segment>(owned: &[OwnedSegment<S>]) -> bytes::Bytes {
+    let mut enc = Encoder::new();
+    enc.put_usize(owned.len());
+    for o in owned {
+        enc.put_usize(o.index);
+        o.segment.encode_into(&mut enc);
+    }
+    enc.finish()
+}
+
+fn decode_owned<S: Segment>(frame: bytes::Bytes) -> NetResult<Vec<OwnedSegment<S>>> {
+    let mut dec = Decoder::new(frame);
+    let count = dec.get_usize()?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let index = dec.get_usize()?;
+        let segment = S::decode_from(&mut dec)?;
+        out.push(OwnedSegment { index, segment });
+    }
+    Ok(out)
+}
+
+/// Gathers every rank's owned segments into `root`.
+///
+/// At `root`, returns all segments sorted by global index (and verifies the
+/// index space `0..total` is covered exactly once); elsewhere returns `None`.
+pub fn gather_segments<S: Segment>(
+    comm: &RingComm,
+    owned: Vec<OwnedSegment<S>>,
+    root: usize,
+    total: usize,
+) -> NetResult<Option<Vec<S>>> {
+    let n = comm.size();
+    assert!(root < n);
+    if comm.rank() != root {
+        comm.send_to_rank(root, 0, encode_owned(&owned))?;
+        return Ok(None);
+    }
+    let mut all = owned;
+    for rank in 0..n {
+        if rank == root {
+            continue;
+        }
+        let frame = comm.recv_from_rank(rank, 0)?;
+        all.extend(decode_owned(frame)?);
+    }
+    all.sort_by_key(|o| o.index);
+    if all.len() != total {
+        return Err(NetError::Codec(format!(
+            "gather expected {total} segments, got {}",
+            all.len()
+        )));
+    }
+    for (i, o) in all.iter().enumerate() {
+        if o.index != i {
+            return Err(NetError::Codec(format!(
+                "gather segment index mismatch at {i}: got {}",
+                o.index
+            )));
+        }
+    }
+    Ok(Some(all.into_iter().map(|o| o.segment).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ring_reduce_scatter;
+    use crate::segment::U64SumSegment;
+    use crate::testing::{run_ring_cluster, RingClusterSpec};
+
+    #[test]
+    fn reduce_scatter_then_gather_equals_full_reduction() {
+        let spec = RingClusterSpec::unshaped(2, 2, 2);
+        let n = spec.total_executors();
+        let total = 2 * n;
+        let results = run_ring_cluster(&spec, |comm| {
+            let segs: Vec<U64SumSegment> = (0..total)
+                .map(|g| U64SumSegment(vec![comm.rank() as u64 + g as u64; 3]))
+                .collect();
+            let owned = ring_reduce_scatter(&comm, segs).unwrap();
+            gather_segments(&comm, owned, 0, total).unwrap()
+        });
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 0 {
+                let segs = r.as_ref().unwrap();
+                assert_eq!(segs.len(), total);
+                for (g, seg) in segs.iter().enumerate() {
+                    let want: u64 = (0..n).map(|r| r as u64 + g as u64).sum();
+                    assert!(seg.0.iter().all(|&v| v == want));
+                }
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_to_nonzero_root() {
+        let spec = RingClusterSpec::unshaped(1, 3, 1);
+        let results = run_ring_cluster(&spec, |comm| {
+            let owned = vec![OwnedSegment {
+                index: (comm.rank() + 1) % comm.size(),
+                segment: U64SumSegment(vec![comm.rank() as u64]),
+            }];
+            gather_segments(&comm, owned, 2, 3).unwrap()
+        });
+        assert!(results[0].is_none() && results[1].is_none());
+        let segs = results[2].as_ref().unwrap();
+        // Segment g was owned by rank (g + n - 1) % n = g - 1 mod 3.
+        assert_eq!(segs[0].0, vec![2]);
+        assert_eq!(segs[1].0, vec![0]);
+        assert_eq!(segs[2].0, vec![1]);
+    }
+
+    #[test]
+    fn gather_detects_missing_segments() {
+        let spec = RingClusterSpec::unshaped(1, 2, 1);
+        let results = run_ring_cluster(&spec, |comm| {
+            // Both ranks claim segment 0: duplicate + missing index 1.
+            let owned = vec![OwnedSegment {
+                index: 0,
+                segment: U64SumSegment(vec![1]),
+            }];
+            gather_segments(&comm, owned, 0, 2)
+        });
+        assert!(results[0].is_err());
+        assert!(matches!(results[1], Ok(None)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Ring-based reduce-scatter over the parallel directed ring.
+//!
+//! This is the algorithm Sparker builds split aggregation on (§4.2,
+//! Figure 11). For `N` ranks the aggregator is split into `P·N` segments
+//! (`P` = PDR channel parallelism). `P` worker threads run independent
+//! N-segment rings: thread `t` communicates exclusively on channel `t` and
+//! reduces the segment range `[t·N, (t+1)·N)` — exactly the paper's mapping.
+//!
+//! Per ring, each of the `N-1` iterations sends segment `(rank − step) mod N`
+//! to the next rank while merging the segment received from the previous
+//! rank into `(rank − step − 1) mod N`. After the last iteration the rank
+//! holds the fully-reduced segment `(rank + 1) mod N`: every segment has
+//! visited every rank exactly once, so each rank moved only `(N−1)/N` of one
+//! aggregator regardless of `N` — that is the bandwidth-optimality that
+//! makes split aggregation scale nearly flat in Figure 16.
+
+use sparker_net::codec::Payload;
+use sparker_net::error::{NetError, NetResult};
+
+use crate::comm::RingComm;
+use crate::segment::Segment;
+
+/// A fully-reduced segment owned by this rank after reduce-scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedSegment<S> {
+    /// Global segment index in `0..P·N`.
+    pub index: usize,
+    pub segment: S,
+}
+
+/// Runs reduce-scatter over the PDR using [`Segment::merge_from`].
+///
+/// `segments` must contain exactly `P·N` segments: the caller (the engine's
+/// split-aggregation path) produces them by calling the user's `splitOp`
+/// with indices `0..P·N`. Returns the `P` segments this rank owns, with
+/// their global indices, sorted by index.
+///
+/// # Errors
+/// Propagates transport errors; all worker threads are joined first.
+pub fn ring_reduce_scatter<S: Segment>(
+    comm: &RingComm,
+    segments: Vec<S>,
+) -> NetResult<Vec<OwnedSegment<S>>> {
+    ring_reduce_scatter_by(comm, segments, &|acc: &mut S, incoming: S| {
+        acc.merge_from(&incoming)
+    })
+}
+
+/// Closure-merge variant of [`ring_reduce_scatter`]: the paper's SAI passes
+/// `reduceOp` as a user callback, so the engine cannot rely on a trait impl.
+/// `merge` must be associative/commutative like [`Segment::merge_from`].
+pub fn ring_reduce_scatter_by<V, F>(
+    comm: &RingComm,
+    segments: Vec<V>,
+    merge: &F,
+) -> NetResult<Vec<OwnedSegment<V>>>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    let n = comm.size();
+    let p = comm.parallelism();
+    if segments.len() != p * n {
+        return Err(NetError::InvalidAddress(format!(
+            "ring_reduce_scatter needs P*N = {} segments, got {}",
+            p * n,
+            segments.len()
+        )));
+    }
+    // Single rank: nothing to exchange; it owns every segment.
+    if n == 1 {
+        return Ok(segments
+            .into_iter()
+            .enumerate()
+            .map(|(index, segment)| OwnedSegment { index, segment })
+            .collect());
+    }
+
+    let mut segments = segments;
+    let rank = comm.rank();
+    let owned_local = (rank + 1) % n;
+
+    let mut results: Vec<NetResult<()>> = Vec::with_capacity(p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (t, chunk) in segments.chunks_mut(n).enumerate() {
+            let comm = comm.clone();
+            handles.push(scope.spawn(move || ring_pass(&comm, t, chunk, merge)));
+        }
+        for h in handles {
+            results.push(h.join().expect("ring worker panicked"));
+        }
+    });
+    results.into_iter().collect::<NetResult<Vec<_>>>()?;
+
+    // After the passes, channel t's fully-reduced segment sits at local
+    // index (rank + 1) % N of its chunk; move those out without cloning.
+    let owned = segments
+        .into_iter()
+        .enumerate()
+        .filter(|(index, _)| index % n == owned_local)
+        .map(|(index, segment)| OwnedSegment { index, segment })
+        .collect();
+    Ok(owned)
+}
+
+/// One channel's reduce-scatter pass over its `N` segments, in place.
+/// After return, `chunk[(rank + 1) % N]` holds the fully-reduced segment.
+fn ring_pass<V, F>(comm: &RingComm, channel: usize, chunk: &mut [V], merge: &F) -> NetResult<()>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    let n = comm.size();
+    let rank = comm.rank();
+    for step in 0..n - 1 {
+        let send_idx = (rank + n - step) % n;
+        let recv_idx = (rank + 2 * n - step - 1) % n;
+        comm.send_next(channel, chunk[send_idx].to_frame())?;
+        let incoming = V::from_frame(comm.recv_prev(channel)?)?;
+        merge(&mut chunk[recv_idx], incoming);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{SumSegment, U64SumSegment};
+    use crate::testing::{run_ring_cluster, RingClusterSpec};
+
+    /// Builds rank-specific segments: rank r, global segment g holds value
+    /// base(r, g) in every element, so the reduced segment g must hold
+    /// sum over ranks of base(r, g).
+    fn seed_segments(rank: usize, total: usize, elems: usize) -> Vec<U64SumSegment> {
+        (0..total)
+            .map(|g| U64SumSegment(vec![(rank as u64 + 1) * 1000 + g as u64; elems]))
+            .collect()
+    }
+
+    fn expected_reduced(g: usize, n: usize) -> u64 {
+        (0..n).map(|r| (r as u64 + 1) * 1000 + g as u64).sum()
+    }
+
+    fn check_reduce_scatter(nodes: usize, epn: usize, parallelism: usize, elems: usize) {
+        let spec = RingClusterSpec::unshaped(nodes, epn, parallelism);
+        let n = spec.total_executors();
+        let total = parallelism * n;
+        let per_rank = run_ring_cluster(&spec, |comm| {
+            let segs = seed_segments(comm.rank(), total, elems);
+            ring_reduce_scatter(&comm, segs).unwrap()
+        });
+        // Every global segment owned exactly once, fully reduced.
+        let mut seen = vec![false; total];
+        for (rank, owned) in per_rank.iter().enumerate() {
+            assert_eq!(owned.len(), parallelism, "rank {rank} owns P segments");
+            for o in owned {
+                assert!(!seen[o.index], "segment {} owned twice", o.index);
+                seen[o.index] = true;
+                let want = expected_reduced(o.index, n);
+                assert!(o.segment.0.iter().all(|&v| v == want), "segment {} wrong", o.index);
+                assert_eq!(o.segment.0.len(), elems);
+                // Ownership mapping: thread t of rank r owns t*n + (r+1)%n.
+                assert_eq!(o.index % n, (rank + 1) % n);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all segments covered");
+    }
+
+    /// Figure 5's concept, executable: splitting the aggregators lets the
+    /// reduction of 4 objects proceed as 3 (here 4) independent segment
+    /// reductions, each landing fully reduced on a different executor —
+    /// versus the non-splittable case where one reducer must see all data.
+    #[test]
+    fn split_parallelism_demo() {
+        let spec = RingClusterSpec::unshaped(1, 4, 1);
+        let per_rank = run_ring_cluster(&spec, |comm| {
+            // V_i split into segments V_{i,1..4}.
+            let segs: Vec<U64SumSegment> =
+                (0..4).map(|j| U64SumSegment(vec![(comm.rank() * 10 + j) as u64])).collect();
+            ring_reduce_scatter(&comm, segs).unwrap()
+        });
+        // Each of the 4 reduced segments V_{*,j} lives on a distinct
+        // executor: 4-way parallelism over what tree reduction serializes.
+        let owners: std::collections::HashSet<usize> = per_rank
+            .iter()
+            .enumerate()
+            .flat_map(|(rank, owned)| owned.iter().map(move |_| rank))
+            .collect();
+        assert_eq!(owners.len(), 4, "every executor owns one reduced segment");
+        for owned in &per_rank {
+            for o in owned {
+                let want: u64 = (0..4).map(|r| (r * 10 + o.index) as u64).sum();
+                assert_eq!(o.segment.0[0], want);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_two_ranks() {
+        check_reduce_scatter(2, 1, 1, 5);
+    }
+
+    #[test]
+    fn reduce_scatter_four_ranks_matches_figure_11() {
+        check_reduce_scatter(1, 4, 1, 3);
+    }
+
+    #[test]
+    fn reduce_scatter_parallel_channels() {
+        check_reduce_scatter(2, 3, 4, 8);
+    }
+
+    #[test]
+    fn reduce_scatter_single_rank_degenerate() {
+        check_reduce_scatter(1, 1, 2, 4);
+    }
+
+    #[test]
+    fn reduce_scatter_odd_sizes() {
+        check_reduce_scatter(3, 1, 2, 7);
+        check_reduce_scatter(5, 1, 1, 1);
+    }
+
+    #[test]
+    fn wrong_segment_count_is_an_error() {
+        let spec = RingClusterSpec::unshaped(1, 2, 1);
+        let errs = run_ring_cluster(&spec, |comm| {
+            // 3 segments for P*N = 2.
+            let segs = seed_segments(comm.rank(), 3, 2);
+            // Both ranks must take the error path before any communication,
+            // otherwise one rank would block forever.
+            ring_reduce_scatter(&comm, segs).is_err()
+        });
+        assert_eq!(errs, vec![true, true]);
+    }
+
+    #[test]
+    fn float_segments_sum_correctly() {
+        let spec = RingClusterSpec::unshaped(1, 3, 1);
+        let n = 3;
+        let per_rank = run_ring_cluster(&spec, |comm| {
+            let segs: Vec<SumSegment> = (0..n)
+                .map(|g| SumSegment(vec![0.5 * (comm.rank() + 1) as f64 + g as f64; 4]))
+                .collect();
+            ring_reduce_scatter(&comm, segs).unwrap()
+        });
+        for owned in &per_rank {
+            for o in owned {
+                let want: f64 = (0..n).map(|r| 0.5 * (r + 1) as f64 + o.index as f64).sum();
+                for &v in &o.segment.0 {
+                    assert!((v - want).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! libsvm sparse-format I/O.
+//!
+//! The paper's four classification datasets ship in libsvm format:
+//!
+//! ```text
+//! <label> <index>:<value> <index>:<value> ...
+//! ```
+//!
+//! with 1-based, strictly increasing indices. We parse into
+//! [`SparseExample`] (0-based indices internally) and write back out, so
+//! real datasets can replace the synthetic stand-ins without code changes.
+
+use crate::synth::SparseExample;
+
+/// A libsvm parse failure, with 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "libsvm parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one libsvm line. Labels `+1`, `1`, `-1`, `0` are normalized to
+/// ±1 (`0 → -1`, matching MLlib's binary convention for SVM).
+pub fn parse_line(line: &str, lineno: usize) -> Result<SparseExample, ParseError> {
+    let err = |message: String| ParseError { line: lineno, message };
+    let mut fields = line.split_whitespace();
+    let label_str = fields.next().ok_or_else(|| err("empty line".into()))?;
+    let raw: f64 = label_str
+        .parse()
+        .map_err(|e| err(format!("bad label {label_str:?}: {e}")))?;
+    let label = if raw > 0.0 { 1.0 } else { -1.0 };
+
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    let mut prev: i64 = -1;
+    for field in fields {
+        if field.starts_with('#') {
+            break; // trailing comment
+        }
+        let (idx_str, val_str) = field
+            .split_once(':')
+            .ok_or_else(|| err(format!("expected index:value, got {field:?}")))?;
+        let idx: u32 = idx_str
+            .parse()
+            .map_err(|e| err(format!("bad index {idx_str:?}: {e}")))?;
+        if idx == 0 {
+            return Err(err("libsvm indices are 1-based; found 0".into()));
+        }
+        let zero_based = (idx - 1) as i64;
+        if zero_based <= prev {
+            return Err(err(format!("indices must be strictly increasing at {idx}")));
+        }
+        prev = zero_based;
+        let val: f64 = val_str
+            .parse()
+            .map_err(|e| err(format!("bad value {val_str:?}: {e}")))?;
+        indices.push(idx - 1);
+        values.push(val);
+    }
+    Ok(SparseExample { label, indices, values })
+}
+
+/// Parses a whole libsvm document (skips blank lines).
+pub fn parse(text: &str) -> Result<Vec<SparseExample>, ParseError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l, i + 1))
+        .collect()
+}
+
+/// Writes one example as a libsvm line (1-based indices).
+pub fn write_line(ex: &SparseExample, out: &mut String) {
+    out.push_str(if ex.label > 0.0 { "+1" } else { "-1" });
+    for (i, v) in ex.indices.iter().zip(&ex.values) {
+        out.push(' ');
+        out.push_str(&(i + 1).to_string());
+        out.push(':');
+        // Shortest roundtrip representation.
+        out.push_str(&format!("{v}"));
+    }
+    out.push('\n');
+}
+
+/// Serializes a dataset to libsvm text.
+pub fn write(examples: &[SparseExample]) -> String {
+    let mut out = String::new();
+    for ex in examples {
+        write_line(ex, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_line() {
+        let ex = parse_line("+1 1:0.5 3:2 10:-1.5", 1).unwrap();
+        assert_eq!(ex.label, 1.0);
+        assert_eq!(ex.indices, vec![0, 2, 9]);
+        assert_eq!(ex.values, vec![0.5, 2.0, -1.5]);
+    }
+
+    #[test]
+    fn zero_label_normalizes_to_minus_one() {
+        assert_eq!(parse_line("0 1:1", 1).unwrap().label, -1.0);
+        assert_eq!(parse_line("-1 1:1", 1).unwrap().label, -1.0);
+        assert_eq!(parse_line("1 1:1", 1).unwrap().label, 1.0);
+    }
+
+    #[test]
+    fn label_only_line_is_valid() {
+        let ex = parse_line("+1", 1).unwrap();
+        assert!(ex.indices.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_line("", 1).is_err());
+        assert!(parse_line("x 1:1", 1).is_err());
+        assert!(parse_line("+1 0:1", 1).is_err(), "0 index is invalid");
+        assert!(parse_line("+1 2:1 2:2", 1).is_err(), "non-increasing");
+        assert!(parse_line("+1 3:1 2:2", 1).is_err(), "decreasing");
+        assert!(parse_line("+1 a:1", 1).is_err());
+        assert!(parse_line("+1 1:b", 1).is_err());
+        assert!(parse_line("+1 1", 1).is_err(), "missing colon");
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse("1 1:1\n\nbad").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn trailing_comment_ignored() {
+        let ex = parse_line("+1 1:2 # a comment", 1).unwrap();
+        assert_eq!(ex.indices, vec![0]);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let gen = crate::synth::ClassificationGen::new(3, 100, 8);
+        let examples: Vec<_> = (0..50).map(|i| gen.sample(i)).collect();
+        let text = write(&examples);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, examples);
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let got = parse("+1 1:1\n\n\n-1 2:2\n").unwrap();
+        assert_eq!(got.len(), 2);
+    }
+}

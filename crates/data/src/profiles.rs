@@ -1,0 +1,243 @@
+//! The paper's Table 2 as data.
+//!
+//! Each profile records a real dataset's load-bearing shape: sample/document
+//! count, feature-space or vocabulary size, and per-sample density. A
+//! `scale` factor shrinks the *sample count* (compute volume) while a
+//! separate `feature_scale` shrinks the *aggregator dimension* (reduction
+//! volume), so benchmarks can dial compute and communication independently —
+//! the paper's whole point is their ratio.
+
+use crate::synth::{ClassificationGen, CorpusGen};
+
+/// What the dataset is used for (Table 2's "Task" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    Classification,
+    TopicModel,
+}
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Paper's dataset name ("avazu", "kdd12", …).
+    pub name: &'static str,
+    pub task: TaskKind,
+    /// Samples (classification) or documents (topic model) in the paper.
+    pub paper_samples: u64,
+    /// Features (classification) or dictionary size (topic model).
+    pub paper_features: u64,
+    /// Typical non-zeros per sample / words per document (approximate,
+    /// from the public dataset statistics).
+    pub nnz_per_sample: usize,
+    /// Multiplier on sample count for a run (1.0 = paper scale).
+    pub scale: f64,
+    /// Multiplier on feature/vocabulary dimension for a run.
+    pub feature_scale: f64,
+    /// RNG seed for the synthetic stand-in.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// Effective sample count after scaling (min 1).
+    pub fn samples(&self) -> u64 {
+        ((self.paper_samples as f64 * self.scale) as u64).max(1)
+    }
+
+    /// Effective feature dimension after scaling (min 16).
+    pub fn features(&self) -> usize {
+        ((self.paper_features as f64 * self.feature_scale) as usize).max(16)
+    }
+
+    /// Builder: scales sample count.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.scale = scale;
+        self
+    }
+
+    /// Builder: scales feature/vocabulary dimension.
+    pub fn feature_scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.feature_scale = scale;
+        self
+    }
+
+    /// Classification generator for this profile.
+    ///
+    /// # Panics
+    /// Panics for topic-model profiles.
+    pub fn classification_gen(&self) -> ClassificationGen {
+        assert_eq!(self.task, TaskKind::Classification, "{} is not a classification set", self.name);
+        let features = self.features();
+        ClassificationGen::new(self.seed, features, self.nnz_per_sample.min(features / 2).max(1))
+    }
+
+    /// Corpus generator for this profile with `num_topics` topics.
+    ///
+    /// # Panics
+    /// Panics for classification profiles.
+    pub fn corpus_gen(&self, num_topics: usize) -> CorpusGen {
+        assert_eq!(self.task, TaskKind::TopicModel, "{} is not a corpus", self.name);
+        let vocab = self.features();
+        CorpusGen::new(self.seed, vocab, num_topics.min(vocab), self.nnz_per_sample)
+    }
+
+    /// Size in bytes of the dense `f64` aggregator a GLM gradient over this
+    /// dataset produces (gradient + loss + count).
+    pub fn glm_aggregator_bytes(&self) -> u64 {
+        (self.features() as u64 + 2) * 8
+    }
+
+    /// Size in bytes of the LDA sufficient-statistics aggregator
+    /// (K × V matrix + K totals).
+    pub fn lda_aggregator_bytes(&self, num_topics: usize) -> u64 {
+        (num_topics as u64 * self.features() as u64 + num_topics as u64) * 8
+    }
+}
+
+/// avazu: 45,006,431 samples × 1,000,000 features (CTR prediction).
+pub fn avazu() -> DatasetProfile {
+    DatasetProfile {
+        name: "avazu",
+        task: TaskKind::Classification,
+        paper_samples: 45_006_431,
+        paper_features: 1_000_000,
+        nnz_per_sample: 15,
+        scale: 1.0,
+        feature_scale: 1.0,
+        seed: 0xA4A2 ^ 0x5EED,
+    }
+}
+
+/// criteo: 51,882,752 samples × 1,000,000 features.
+pub fn criteo() -> DatasetProfile {
+    DatasetProfile {
+        name: "criteo",
+        task: TaskKind::Classification,
+        paper_samples: 51_882_752,
+        paper_features: 1_000_000,
+        nnz_per_sample: 39,
+        scale: 1.0,
+        feature_scale: 1.0,
+        seed: 0xC417E0,
+    }
+}
+
+/// kdd10: 8,918,054 samples × 20,216,830 features.
+pub fn kdd10() -> DatasetProfile {
+    DatasetProfile {
+        name: "kdd10",
+        task: TaskKind::Classification,
+        paper_samples: 8_918_054,
+        paper_features: 20_216_830,
+        nnz_per_sample: 30,
+        scale: 1.0,
+        feature_scale: 1.0,
+        seed: 0x10DD,
+    }
+}
+
+/// kdd12: 149,639,105 samples × 54,686,452 features.
+pub fn kdd12() -> DatasetProfile {
+    DatasetProfile {
+        name: "kdd12",
+        task: TaskKind::Classification,
+        paper_samples: 149_639_105,
+        paper_features: 54_686_452,
+        nnz_per_sample: 11,
+        scale: 1.0,
+        feature_scale: 1.0,
+        seed: 0x12DD,
+    }
+}
+
+/// enron: 39,861 documents, 28,102-word dictionary.
+pub fn enron() -> DatasetProfile {
+    DatasetProfile {
+        name: "enron",
+        task: TaskKind::TopicModel,
+        paper_samples: 39_861,
+        paper_features: 28_102,
+        nnz_per_sample: 160,
+        scale: 1.0,
+        feature_scale: 1.0,
+        seed: 0xE7707,
+    }
+}
+
+/// nytimes: 300,000 documents, 102,660-word dictionary.
+pub fn nytimes() -> DatasetProfile {
+    DatasetProfile {
+        name: "nytimes",
+        task: TaskKind::TopicModel,
+        paper_samples: 300_000,
+        paper_features: 102_660,
+        nnz_per_sample: 230,
+        scale: 1.0,
+        feature_scale: 1.0,
+        seed: 0x24_7177,
+    }
+}
+
+/// All Table 2 profiles in the paper's order.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![avazu(), criteo(), kdd10(), kdd12(), enron(), nytimes()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_match_paper() {
+        let p = kdd12();
+        assert_eq!(p.paper_samples, 149_639_105);
+        assert_eq!(p.paper_features, 54_686_452);
+        assert_eq!(nytimes().paper_features, 102_660);
+        assert_eq!(all_profiles().len(), 6);
+    }
+
+    #[test]
+    fn scaling_shrinks_samples_and_features_independently() {
+        let p = avazu().scaled(1e-5).feature_scaled(0.01);
+        assert_eq!(p.samples(), 450);
+        assert_eq!(p.features(), 10_000);
+    }
+
+    #[test]
+    fn generators_match_task_kind() {
+        let c = avazu().scaled(1e-6).feature_scaled(1e-3);
+        let g = c.classification_gen();
+        let s = g.sample(0);
+        assert!(s.indices.iter().all(|&i| (i as usize) < c.features()));
+
+        let t = enron().feature_scaled(0.01);
+        let g = t.corpus_gen(10);
+        let d = g.document(0);
+        assert!(d.words.iter().all(|&(w, _)| (w as usize) < t.features()));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a corpus")]
+    fn classification_profile_rejects_corpus_gen() {
+        avazu().corpus_gen(10);
+    }
+
+    #[test]
+    fn aggregator_sizes_reflect_paper_hierarchy() {
+        // kdd12's gradient aggregator dwarfs avazu's; nytimes' LDA stats
+        // dwarf enron's — that hierarchy drives Figure 17's speedups.
+        assert!(kdd12().glm_aggregator_bytes() > 50 * avazu().glm_aggregator_bytes());
+        assert!(nytimes().lda_aggregator_bytes(100) > 3 * enron().lda_aggregator_bytes(100));
+        // nytimes K=100: ~82 MB of doubles, the paper's "significantly large".
+        let mb = nytimes().lda_aggregator_bytes(100) as f64 / (1024.0 * 1024.0);
+        assert!((70.0..90.0).contains(&mb), "nytimes LDA aggregator {mb} MB");
+    }
+
+    #[test]
+    fn minimum_clamps() {
+        let p = enron().scaled(1e-12).feature_scaled(1e-12);
+        assert_eq!(p.samples(), 1);
+        assert_eq!(p.features(), 16);
+    }
+}

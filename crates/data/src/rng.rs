@@ -1,0 +1,231 @@
+//! Deterministic, splittable pseudo-randomness.
+//!
+//! Synthetic partitions must be generated independently on their executors
+//! (no driver-side materialization) and reproducibly across runs and
+//! backends (threaded engine vs simulator). SplitMix64 gives both: a tiny,
+//! statistically solid generator whose streams are derived by seed
+//! arithmetic, so partition `p` of dataset seed `s` always yields the same
+//! items everywhere.
+
+/// SplitMix64 PRNG (Steele, Lea & Flood; the seeding generator of the
+/// xoshiro family).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derives the generator for stream (e.g. partition) `stream` of `seed`.
+    pub fn for_stream(seed: u64, stream: u64) -> Self {
+        // Mix the stream id through one round so adjacent streams decorrelate.
+        let mut g = Self::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        g.next_u64();
+        g
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits -> uniform double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`. Uses rejection-free Lemire reduction; the bias
+    /// for n ≪ 2^64 is negligible for data generation.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = (self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fisher–Yates sample of `k` distinct values from `0..n`.
+    ///
+    /// Uses a partial shuffle over a dense index map only when `k` is a
+    /// large fraction of `n`; otherwise rejection sampling with a scratch
+    /// set, which is O(k) for the sparse regime data generation lives in.
+    pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
+        assert!(k as u64 <= n, "cannot sample {k} distinct from {n}");
+        if k == 0 {
+            return Vec::new();
+        }
+        if (k as u64) * 4 >= n {
+            // Dense regime: partial Fisher-Yates.
+            let mut idx: Vec<u64> = (0..n).collect();
+            for i in 0..k {
+                let j = i as u64 + self.next_below(n - i as u64);
+                idx.swap(i, j as usize);
+            }
+            idx.truncate(k);
+            idx
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            let mut out = Vec::with_capacity(k);
+            while out.len() < k {
+                let v = self.next_below(n);
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Zipf sampler over `{0, …, n−1}` with exponent `s`, via inverse-CDF on a
+/// precomputed table. Table construction is O(n); sampling is O(log n).
+///
+/// Bag-of-words corpora (enron, nytimes in Table 2) have Zipfian word
+/// frequencies, which is what makes LDA's word-topic count matrix dense in
+/// common words and sparse in the tail.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = SplitMix64::for_stream(42, 0);
+        let mut b = SplitMix64::for_stream(42, 1);
+        let same = (0..50).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut g = SplitMix64::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = g.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 hit in 1000 draws");
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut g = SplitMix64::new(1234);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = g.next_gaussian();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut g = SplitMix64::new(5);
+        for (n, k) in [(100u64, 10usize), (100, 90), (10, 10), (1_000_000, 50)] {
+            let s = g.sample_distinct(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_zero_k() {
+        let mut g = SplitMix64::new(5);
+        assert!(g.sample_distinct(10, 0).is_empty());
+    }
+
+    #[test]
+    fn zipf_is_monotonically_decreasing_in_rank() {
+        let z = Zipf::new(1000, 1.1);
+        let mut g = SplitMix64::new(77);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut g)] += 1;
+        }
+        // Head ranks dominate tail ranks decisively.
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[500..510].iter().sum();
+        assert!(head > tail * 20, "head {head}, tail {tail}");
+        assert!(counts[0] > counts[99], "rank 0 must beat rank 99");
+    }
+
+    #[test]
+    fn zipf_samples_in_support() {
+        let z = Zipf::new(50, 1.0);
+        let mut g = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut g) < 50);
+        }
+        assert_eq!(z.support(), 50);
+    }
+}

@@ -1,0 +1,268 @@
+//! Synthetic dataset generators.
+//!
+//! Two generators stand in for the paper's real datasets:
+//!
+//! * [`ClassificationGen`] — sparse binary classification (avazu/criteo/
+//!   kdd10/kdd12 stand-in). A fixed ground-truth weight vector is derived
+//!   from the seed; each sample draws `nnz` distinct features, Gaussian
+//!   values, and a label from the logistic of the true margin. Feature 0
+//!   acts as an intercept so the classes are separable enough for training
+//!   curves to move.
+//! * [`CorpusGen`] — bag-of-words documents (enron/nytimes stand-in) from a
+//!   simple topic mixture: each synthetic topic is a Zipf distribution over
+//!   a shifted slice of the vocabulary, each document mixes 1–3 topics.
+//!
+//! Both generate *per partition* with stream-split RNGs: partition `p` is
+//! identical no matter which executor, run, or backend generates it.
+
+use crate::rng::{SplitMix64, Zipf};
+
+/// A sparse labelled example (indices strictly increasing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseExample {
+    /// +1.0 / -1.0 (0.0/1.0 accepted by parsers; generators emit ±1).
+    pub label: f64,
+    pub indices: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+impl SparseExample {
+    /// Dot product against a dense weight vector.
+    pub fn dot(&self, w: &[f64]) -> f64 {
+        self.indices
+            .iter()
+            .zip(&self.values)
+            .map(|(&i, &v)| w.get(i as usize).copied().unwrap_or(0.0) * v)
+            .sum()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// Sparse binary-classification generator.
+#[derive(Debug, Clone)]
+pub struct ClassificationGen {
+    pub seed: u64,
+    pub num_features: usize,
+    /// Non-zeros per sample (including the intercept feature 0).
+    pub nnz_per_sample: usize,
+    /// Fraction of features carrying true signal; the rest are noise.
+    pub signal_fraction: f64,
+}
+
+impl ClassificationGen {
+    pub fn new(seed: u64, num_features: usize, nnz_per_sample: usize) -> Self {
+        assert!(num_features >= 2);
+        assert!(nnz_per_sample >= 1 && nnz_per_sample <= num_features);
+        Self { seed, num_features, nnz_per_sample, signal_fraction: 0.3 }
+    }
+
+    /// The ground-truth weight of feature `i` (derived, not stored: the
+    /// feature space can be huge).
+    pub fn true_weight(&self, i: u32) -> f64 {
+        let mut g = SplitMix64::for_stream(self.seed ^ 0xFEED_FACE, i as u64);
+        let active = g.next_f64() < self.signal_fraction;
+        if i == 0 {
+            0.5 // intercept
+        } else if active {
+            2.0 * g.next_gaussian()
+        } else {
+            0.0
+        }
+    }
+
+    /// Generates sample `index` (global index across the dataset).
+    pub fn sample(&self, index: u64) -> SparseExample {
+        let mut g = SplitMix64::for_stream(self.seed, index);
+        let mut indices: Vec<u32> = if self.nnz_per_sample > 1 {
+            let mut idx = g
+                .sample_distinct((self.num_features - 1) as u64, self.nnz_per_sample - 1)
+                .into_iter()
+                .map(|v| (v + 1) as u32)
+                .collect::<Vec<_>>();
+            idx.push(0); // intercept
+            idx.sort_unstable();
+            idx
+        } else {
+            vec![0]
+        };
+        indices.dedup();
+        let values: Vec<f64> = indices
+            .iter()
+            .map(|&i| if i == 0 { 1.0 } else { g.next_gaussian().abs() + 0.1 })
+            .collect();
+        let margin: f64 = indices
+            .iter()
+            .zip(&values)
+            .map(|(&i, &v)| self.true_weight(i) * v)
+            .sum();
+        let p = 1.0 / (1.0 + (-margin).exp());
+        let label = if g.next_f64() < p { 1.0 } else { -1.0 };
+        SparseExample { label, indices, values }
+    }
+
+    /// Generates the samples of one partition.
+    pub fn partition(&self, partition: usize, partitions: usize, total_samples: u64) -> Vec<SparseExample> {
+        let per = total_samples / partitions as u64;
+        let rem = total_samples % partitions as u64;
+        let start = partition as u64 * per + (partition as u64).min(rem);
+        let count = per + u64::from((partition as u64) < rem);
+        (start..start + count).map(|i| self.sample(i)).collect()
+    }
+}
+
+/// A bag-of-words document: (word id, count) pairs, ids strictly increasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    pub words: Vec<(u32, u32)>,
+}
+
+impl Document {
+    pub fn total_words(&self) -> u64 {
+        self.words.iter().map(|&(_, c)| c as u64).sum()
+    }
+}
+
+/// Topic-mixture corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusGen {
+    pub seed: u64,
+    pub vocab_size: usize,
+    pub num_topics: usize,
+    /// Words drawn per document (before counting duplicates).
+    pub doc_length: usize,
+    zipf: Zipf,
+}
+
+impl CorpusGen {
+    pub fn new(seed: u64, vocab_size: usize, num_topics: usize, doc_length: usize) -> Self {
+        assert!(vocab_size >= num_topics);
+        assert!(num_topics >= 1 && doc_length >= 1);
+        Self { seed, vocab_size, num_topics, doc_length, zipf: Zipf::new(vocab_size, 1.05) }
+    }
+
+    /// Generates document `index`.
+    pub fn document(&self, index: u64) -> Document {
+        let mut g = SplitMix64::for_stream(self.seed ^ 0xD0C5, index);
+        // 1-3 topics per document.
+        let k = 1 + g.next_below(3) as usize;
+        let topics: Vec<usize> = (0..k)
+            .map(|_| g.next_below(self.num_topics as u64) as usize)
+            .collect();
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..self.doc_length {
+            let topic = topics[g.next_below(k as u64) as usize];
+            // Each topic reads the global Zipf through a topic-specific
+            // rotation of the vocabulary, giving topics distinct heads.
+            let raw = self.zipf.sample(&mut g);
+            let word = ((raw + topic * (self.vocab_size / self.num_topics)) % self.vocab_size) as u32;
+            *counts.entry(word).or_insert(0u32) += 1;
+        }
+        Document { words: counts.into_iter().collect() }
+    }
+
+    /// Generates the documents of one partition.
+    pub fn partition(&self, partition: usize, partitions: usize, total_docs: u64) -> Vec<Document> {
+        let per = total_docs / partitions as u64;
+        let rem = total_docs % partitions as u64;
+        let start = partition as u64 * per + (partition as u64).min(rem);
+        let count = per + u64::from((partition as u64) < rem);
+        (start..start + count).map(|i| self.document(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic() {
+        let g = ClassificationGen::new(11, 1000, 10);
+        assert_eq!(g.sample(5), g.sample(5));
+        assert_ne!(g.sample(5), g.sample(6));
+    }
+
+    #[test]
+    fn sample_shape_is_valid() {
+        let g = ClassificationGen::new(11, 1000, 10);
+        for i in 0..200 {
+            let s = g.sample(i);
+            assert!(s.label == 1.0 || s.label == -1.0);
+            assert!(s.nnz() <= 10 && s.nnz() >= 1);
+            assert!(s.indices.windows(2).all(|w| w[0] < w[1]), "sorted unique indices");
+            assert!(s.indices.iter().all(|&i| (i as usize) < 1000));
+            assert_eq!(s.indices.len(), s.values.len());
+            assert!(s.indices.contains(&0), "intercept present");
+        }
+    }
+
+    #[test]
+    fn labels_correlate_with_true_margin() {
+        let g = ClassificationGen::new(13, 500, 20);
+        let mut agree = 0;
+        let n = 2000;
+        for i in 0..n {
+            let s = g.sample(i);
+            let margin: f64 = s
+                .indices
+                .iter()
+                .zip(&s.values)
+                .map(|(&j, &v)| g.true_weight(j) * v)
+                .sum();
+            if (margin > 0.0 && s.label > 0.0) || (margin <= 0.0 && s.label < 0.0) {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / n as f64;
+        assert!(rate > 0.7, "signal too weak: agreement {rate}");
+    }
+
+    #[test]
+    fn partitions_tile_the_dataset() {
+        let g = ClassificationGen::new(17, 100, 5);
+        let total: Vec<_> = (0..4).flat_map(|p| g.partition(p, 4, 10)).collect();
+        let direct: Vec<_> = (0..10).map(|i| g.sample(i)).collect();
+        assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn partition_sizes_balance() {
+        let g = ClassificationGen::new(17, 100, 5);
+        let sizes: Vec<usize> = (0..3).map(|p| g.partition(p, 3, 10).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn documents_are_deterministic_and_sorted() {
+        let g = CorpusGen::new(23, 5000, 10, 100);
+        let d = g.document(3);
+        assert_eq!(d, g.document(3));
+        assert!(d.words.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(d.total_words(), 100);
+        assert!(d.words.iter().all(|&(w, _)| (w as usize) < 5000));
+    }
+
+    #[test]
+    fn corpus_partitions_tile() {
+        let g = CorpusGen::new(29, 1000, 5, 50);
+        let total: Vec<_> = (0..3).flat_map(|p| g.partition(p, 3, 7)).collect();
+        let direct: Vec<_> = (0..7).map(|i| g.document(i)).collect();
+        assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn topics_have_distinct_heads() {
+        // Documents from different dominant topics should have different
+        // most-frequent words (topic rotation works).
+        let g = CorpusGen::new(31, 10_000, 10, 400);
+        let mut heads = std::collections::HashSet::new();
+        for i in 0..30 {
+            let d = g.document(i);
+            let head = d.words.iter().max_by_key(|&&(_, c)| c).unwrap().0;
+            heads.insert(head / (10_000 / 10)); // which vocab slice
+        }
+        assert!(heads.len() >= 3, "topic structure collapsed: {heads:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-executor block store (MEMORY_ONLY caching).
+//!
+//! The engine's equivalent of Spark's BlockManager *storage* role: cached
+//! RDD partitions are materialized here keyed by `(rdd, partition)`. The
+//! paper's aggregation micro-benchmark (§5.2.3) caches its input RDD with
+//! `MEMORY_ONLY` and pre-loads it with a `count` action so aggregation
+//! measurements exclude input generation — our benches do the same through
+//! this store.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::rdd::RddId;
+
+/// Key of a cached partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    pub rdd: RddId,
+    pub partition: usize,
+}
+
+/// Type-erased cached partition: an `Arc<Vec<T>>` behind `Any`.
+type Block = Arc<dyn Any + Send + Sync>;
+
+/// Executor-local cache of materialized partitions.
+#[derive(Default)]
+pub struct BlockStore {
+    blocks: RwLock<HashMap<BlockKey, Block>>,
+}
+
+impl BlockStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches the cached partition, or computes and caches it.
+    ///
+    /// Concurrent callers may both compute; the first insert wins and both
+    /// return the same data (compute must be deterministic, which RDD
+    /// lineage guarantees).
+    pub fn get_or_compute<T, F>(&self, key: BlockKey, compute: F) -> Arc<Vec<T>>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> Vec<T>,
+    {
+        if let Some(b) = self.blocks.read().get(&key) {
+            return b.clone().downcast::<Vec<T>>().expect("block type mismatch");
+        }
+        let data = Arc::new(compute());
+        let mut w = self.blocks.write();
+        let entry = w.entry(key).or_insert_with(|| data.clone());
+        entry.clone().downcast::<Vec<T>>().expect("block type mismatch")
+    }
+
+    /// Returns the cached partition if present.
+    pub fn get<T: Send + Sync + 'static>(&self, key: BlockKey) -> Option<Arc<Vec<T>>> {
+        self.blocks
+            .read()
+            .get(&key)
+            .map(|b| b.clone().downcast::<Vec<T>>().expect("block type mismatch"))
+    }
+
+    /// Drops every partition of `rdd` (unpersist).
+    pub fn evict_rdd(&self, rdd: RddId) {
+        self.blocks.write().retain(|k, _| k.rdd != rdd);
+    }
+
+    /// Number of cached partitions on this executor.
+    pub fn len(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: BlockKey = BlockKey { rdd: RddId(1), partition: 0 };
+
+    #[test]
+    fn computes_once_then_caches() {
+        let store = BlockStore::new();
+        let first = store.get_or_compute(KEY, || vec![1u32, 2, 3]);
+        let second = store.get_or_compute(KEY, || panic!("must not recompute"));
+        assert_eq!(*first, vec![1, 2, 3]);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn get_returns_none_when_absent() {
+        let store = BlockStore::new();
+        assert!(store.get::<u32>(KEY).is_none());
+    }
+
+    #[test]
+    fn evict_rdd_clears_only_that_rdd() {
+        let store = BlockStore::new();
+        store.get_or_compute(BlockKey { rdd: RddId(1), partition: 0 }, || vec![1u8]);
+        store.get_or_compute(BlockKey { rdd: RddId(1), partition: 1 }, || vec![2u8]);
+        store.get_or_compute(BlockKey { rdd: RddId(2), partition: 0 }, || vec![3u8]);
+        store.evict_rdd(RddId(1));
+        assert_eq!(store.len(), 1);
+        assert!(store.get::<u8>(BlockKey { rdd: RddId(2), partition: 0 }).is_some());
+    }
+
+    #[test]
+    fn concurrent_get_or_compute_agrees() {
+        let store = Arc::new(BlockStore::new());
+        let results: Vec<Arc<Vec<u64>>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let store = store.clone();
+                    s.spawn(move || store.get_or_compute(KEY, || vec![42u64; 100]))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in &results {
+            assert!(Arc::ptr_eq(r, &results[0]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block type mismatch")]
+    fn wrong_type_panics() {
+        let store = BlockStore::new();
+        store.get_or_compute(KEY, || vec![1u32]);
+        store.get::<u64>(KEY);
+    }
+}

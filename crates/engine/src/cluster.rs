@@ -1,0 +1,596 @@
+//! The local cluster: driver + thread-backed executors.
+//!
+//! [`LocalCluster`] stands in for a Spark deployment. Each executor is a
+//! pool of `cores_per_executor` worker threads consuming a FIFO task queue;
+//! the driver (the thread calling into the engine) turns actions into
+//! stages, schedules tasks onto executors, and recovers from failures. Two
+//! transports connect everything, mirroring Figure 9:
+//!
+//! * the **BlockManager-class** transport carries what stock Spark carries —
+//!   serialized task results to the driver and tree-aggregation shuffle
+//!   blocks — with its control-plane RPC costs;
+//! * the **scalable communicator** (the paper's JeroMQ-based addition)
+//!   carries ring reduce-scatter traffic over the parallel directed ring.
+//!
+//! The driver occupies its own node in the network model, so result fan-in
+//! from all executors serializes through the driver NIC — the physical root
+//! of the paper's "reduction does not scale" observation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use sparker_net::blockmanager::BlockManagerTransport;
+use sparker_net::error::NetError;
+use sparker_net::topology::{round_robin_layout, ExecutorId, ExecutorInfo, RingTopology};
+use sparker_net::transport::{MeshTransport, NetStatsSnapshot, Transport};
+
+use sparker_collectives::comm::RingComm;
+
+use crate::blockstore::BlockStore;
+use crate::config::ClusterSpec;
+use crate::history::History;
+use crate::objects::MutableObjectManager;
+use crate::rdd::TaskContext;
+use crate::task::{EngineError, EngineResult, FaultPlan, TaskFailure};
+
+/// Channels provisioned on the scalable-communicator mesh; PDR parallelism
+/// sweeps (Figure 14) go up to 8.
+pub const SC_CHANNELS: usize = 8;
+
+/// How long the driver waits for any task result before declaring the stage
+/// wedged (turns accidental deadlocks into test failures).
+const STAGE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Maximum attempts per task (Spark's `spark.task.maxFailures` default).
+const MAX_ATTEMPTS: u32 = 4;
+
+type Job = Box<dyn FnOnce(&TaskContext) + Send>;
+
+struct ExecutorHandle {
+    queue: Sender<Job>,
+    ctx: TaskContext,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Failure recovery policy of a stage (see [`crate::task`]).
+pub enum RecoveryPolicy {
+    /// Tasks are independent: re-run just the failed task.
+    RetryTask,
+    /// Tasks share per-executor state under operation `op`: clear that
+    /// state everywhere and resubmit the whole stage.
+    ResubmitStage { op: u64 },
+}
+
+/// Shared cluster state; `LocalCluster` is a cheap handle around it.
+pub struct ClusterInner {
+    spec: ClusterSpec,
+    infos: Vec<ExecutorInfo>,
+    driver: ExecutorId,
+    sc: Arc<MeshTransport>,
+    bm: Arc<BlockManagerTransport>,
+    executors: Vec<ExecutorHandle>,
+    fault_plan: FaultPlan,
+    op_counter: AtomicU64,
+    /// Serializes driver-side actions: result frames from different
+    /// operations share the per-executor→driver streams, so interleaved
+    /// actions would steal each other's frames. Spark's driver similarly
+    /// serializes result handling per job.
+    action_guard: parking_lot::ReentrantMutex<()>,
+    /// Per-stage event log (the engine's Spark history log).
+    history: History,
+}
+
+/// A local, in-process cluster. Clone-cheap handle.
+#[derive(Clone)]
+pub struct LocalCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl LocalCluster {
+    /// Boots a cluster per `spec`: spawns all executor worker threads and
+    /// wires up both transports.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let n = spec.num_executors();
+        assert!(n >= 1);
+        assert!(
+            spec.ring_parallelism <= SC_CHANNELS,
+            "ring parallelism capped at {SC_CHANNELS}"
+        );
+        let infos = round_robin_layout(spec.nodes, spec.executors_per_node, spec.cores_per_executor);
+        // The driver lives on its own node, like a dedicated master host.
+        let driver = ExecutorId(n as u32);
+        let mut all = infos.clone();
+        all.push(ExecutorInfo {
+            id: driver,
+            host: "zz-driver".to_string(),
+            node: spec.nodes,
+            cores: 1,
+        });
+        let sc = MeshTransport::new(
+            &all,
+            SC_CHANNELS,
+            spec.profile.clone(),
+            sparker_net::profile::TransportKind::ScalableComm,
+        );
+        let bm_wire = MeshTransport::new(
+            &all,
+            1,
+            spec.profile.clone(),
+            sparker_net::profile::TransportKind::MpiRef,
+        );
+        let bm = BlockManagerTransport::new(bm_wire, spec.bm_costs);
+
+        let executors = infos.iter().map(spawn_executor).collect();
+
+        LocalCluster {
+            inner: Arc::new(ClusterInner {
+                spec,
+                infos,
+                driver,
+                sc,
+                bm,
+                executors,
+                fault_plan: FaultPlan::new(),
+                op_counter: AtomicU64::new(1),
+                action_guard: parking_lot::ReentrantMutex::new(()),
+                history: History::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<ClusterInner> {
+        &self.inner
+    }
+
+    /// The cluster's configuration.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.inner.spec
+    }
+
+    /// Number of executors.
+    pub fn num_executors(&self) -> usize {
+        self.inner.infos.len()
+    }
+
+    /// Deterministic fault injection hooks (tests).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.inner.fault_plan
+    }
+
+    /// Traffic counters of the scalable communicator.
+    pub fn sc_stats(&self) -> NetStatsSnapshot {
+        self.inner.sc.stats()
+    }
+
+    /// Direct access to an executor's mutable object manager (diagnostics
+    /// and tests; tasks reach it through their [`TaskContext`]).
+    pub fn executor_objects(&self, id: ExecutorId) -> Arc<MutableObjectManager> {
+        self.inner.executor_ctx(id).objects.clone()
+    }
+
+    /// The cluster's stage history log (the paper's analysis substrate).
+    pub fn history(&self) -> &History {
+        &self.inner.history
+    }
+}
+
+fn spawn_executor(info: &ExecutorInfo) -> ExecutorHandle {
+    let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+    let ctx = TaskContext {
+        executor: info.id,
+        blocks: Arc::new(BlockStore::new()),
+        objects: Arc::new(MutableObjectManager::new()),
+    };
+    let workers = (0..info.cores)
+        .map(|w| {
+            let rx = rx.clone();
+            let ctx = ctx.clone();
+            std::thread::Builder::new()
+                .name(format!("{}-core{}", info.id, w))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        crate::rdd::with_task_context(&ctx, || job(&ctx));
+                    }
+                })
+                .expect("spawn executor worker")
+        })
+        .collect();
+    ExecutorHandle { queue: tx, ctx, workers }
+}
+
+impl Drop for ClusterInner {
+    fn drop(&mut self) {
+        // Close queues, then join workers so no threads outlive the cluster.
+        for h in &mut self.executors {
+            let (closed, _) = unbounded();
+            h.queue = closed; // drop the live sender
+        }
+        for h in &mut self.executors {
+            for w in h.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl ClusterInner {
+    /// Allocates a fresh operation id (namespaces shared objects).
+    pub fn next_op(&self) -> u64 {
+        self.op_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Takes the driver action lock. Every op (collect, aggregate, ...)
+    /// holds this across its stages and result fetches; reentrant so ops
+    /// can compose.
+    pub fn lock_action(&self) -> parking_lot::ReentrantMutexGuard<'_, ()> {
+        self.action_guard.lock()
+    }
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    pub fn num_executors(&self) -> usize {
+        self.infos.len()
+    }
+
+    pub fn driver_id(&self) -> ExecutorId {
+        self.driver
+    }
+
+    pub fn executor_infos(&self) -> &[ExecutorInfo] {
+        &self.infos
+    }
+
+    /// The executor-local context (driver-side access for cleanup/tests).
+    pub fn executor_ctx(&self, id: ExecutorId) -> &TaskContext {
+        &self.executors[id.index()].ctx
+    }
+
+    /// Builds the PDR ring over the executors with `parallelism` channels.
+    pub fn build_ring(&self, parallelism: usize) -> Arc<RingTopology> {
+        assert!((1..=SC_CHANNELS).contains(&parallelism));
+        Arc::new(RingTopology::new(
+            self.infos.clone(),
+            self.spec.ring_order,
+            parallelism,
+        ))
+    }
+
+    /// Binds the scalable communicator to `executor`'s rank in `ring`.
+    pub fn ring_comm(&self, ring: &Arc<RingTopology>, executor: ExecutorId) -> RingComm {
+        let rank = ring.rank_of(executor);
+        RingComm::new(self.sc.clone() as Arc<dyn Transport>, ring.clone(), rank)
+    }
+
+    /// Sends a serialized payload from an executor to another executor over
+    /// the BlockManager-class path, charging the modeled serializer.
+    pub fn bm_send(
+        &self,
+        from: ExecutorId,
+        to: ExecutorId,
+        frame: Bytes,
+    ) -> Result<(), TaskFailure> {
+        self.spec.cost.charge_ser(frame.len());
+        self.bm.send(from, to, 0, frame).map_err(TaskFailure::from)
+    }
+
+    /// Sends a serialized task result to the driver (BlockManager path).
+    pub fn bm_send_to_driver(&self, from: ExecutorId, frame: Bytes) -> Result<(), TaskFailure> {
+        self.bm_send(from, self.driver, frame)
+    }
+
+    /// Charges the driver's modeled serializer for `bytes` (broadcast seed).
+    pub fn charge_driver_ser(&self, bytes: usize) {
+        self.spec.cost.charge_ser(bytes);
+    }
+
+    /// Ships an already-serialized frame from the driver to an executor
+    /// without re-charging the serializer (broadcast replicates one encoded
+    /// copy; the wire and NIC shaping still apply per copy).
+    pub fn bm_send_raw_from_driver(&self, to: ExecutorId, frame: Bytes) -> EngineResult<()> {
+        self.bm.send(self.driver, to, 0, frame).map_err(EngineError::from)
+    }
+
+    /// Executor-side receive on the BlockManager path, charging the modeled
+    /// deserializer.
+    pub fn bm_recv(&self, at: ExecutorId, from: ExecutorId) -> Result<Bytes, TaskFailure> {
+        let f = self.bm.recv(at, from, 0).map_err(TaskFailure::from)?;
+        self.spec.cost.charge_deser(f.len());
+        Ok(f)
+    }
+
+    /// Driver-side receive of a task result frame sent by `from`.
+    pub fn driver_recv(&self, from: ExecutorId) -> EngineResult<Bytes> {
+        let f = self
+            .bm
+            .recv_timeout(self.driver, from, 0, STAGE_TIMEOUT)
+            .map_err(EngineError::from)?;
+        self.spec.cost.charge_deser(f.len());
+        Ok(f)
+    }
+
+    /// Runs one stage: `assignments[i]` is the executor of task `i`, `make`
+    /// produces each task's body. Returns per-task results in task order.
+    ///
+    /// `make` may be invoked multiple times per task (retries /
+    /// resubmissions); the attempt number is what fault injection keys on.
+    pub fn run_stage<R, F>(
+        self: &Arc<Self>,
+        label: &str,
+        assignments: &[ExecutorId],
+        make: F,
+        policy: RecoveryPolicy,
+    ) -> EngineResult<(Vec<R>, u32)>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &TaskContext) -> Result<R, TaskFailure> + Send + Sync + 'static,
+    {
+        let n = assignments.len();
+        if n == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let stage_start = std::time::Instant::now();
+        let make = Arc::new(make);
+        let (tx, rx) = unbounded::<(usize, Result<R, TaskFailure>)>();
+
+        let submit = |idx: usize, attempt: u32| {
+            let make = make.clone();
+            let tx = tx.clone();
+            let label = label.to_string();
+            let armed = self.fault_plan.is_armed();
+            let me: Arc<ClusterInner> = self.clone();
+            let job: Job = Box::new(move |ctx| {
+                let result = if armed && me.fault_plan.should_fail(&label, idx, attempt) {
+                    Err(TaskFailure { reason: format!("injected fault (attempt {attempt})") })
+                } else {
+                    make(idx, ctx)
+                };
+                let _ = tx.send((idx, result));
+            });
+            self.executors[assignments[idx].index()]
+                .queue
+                .send(job)
+                .expect("executor queue closed");
+        };
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut task_attempts: Vec<u32> = vec![0; n];
+        let mut total_attempts: u32 = n as u32;
+        let mut stage_attempt: u32 = 0;
+
+        for idx in 0..n {
+            submit(idx, 0);
+        }
+        let mut inflight = n;
+        let mut completed = 0usize;
+
+        while completed < n {
+            let (idx, res) = rx
+                .recv_timeout(STAGE_TIMEOUT)
+                .map_err(|_| EngineError::Net(NetError::Timeout))?;
+            inflight -= 1;
+            match res {
+                Ok(r) => {
+                    if results[idx].is_none() {
+                        results[idx] = Some(r);
+                        completed += 1;
+                    }
+                }
+                Err(fail) => match &policy {
+                    RecoveryPolicy::RetryTask => {
+                        task_attempts[idx] += 1;
+                        if task_attempts[idx] >= MAX_ATTEMPTS {
+                            return Err(EngineError::TaskFailed {
+                                stage: label.to_string(),
+                                task: idx,
+                                attempts: task_attempts[idx],
+                                reason: fail.reason,
+                            });
+                        }
+                        total_attempts += 1;
+                        inflight += 1;
+                        submit(idx, task_attempts[idx]);
+                    }
+                    RecoveryPolicy::ResubmitStage { op } => {
+                        stage_attempt += 1;
+                        if stage_attempt >= MAX_ATTEMPTS {
+                            return Err(EngineError::TaskFailed {
+                                stage: label.to_string(),
+                                task: idx,
+                                attempts: stage_attempt,
+                                reason: fail.reason,
+                            });
+                        }
+                        // Drain in-flight tasks of the poisoned attempt so
+                        // no stale merge lands after cleanup.
+                        while inflight > 0 {
+                            let _ = rx
+                                .recv_timeout(STAGE_TIMEOUT)
+                                .map_err(|_| EngineError::Net(NetError::Timeout))?;
+                            inflight -= 1;
+                        }
+                        // Paper §3.2: clean up the failed stage's shared
+                        // in-memory value, then resubmit the stage.
+                        for h in &self.executors {
+                            h.ctx.objects.clear_op(*op);
+                        }
+                        for r in results.iter_mut() {
+                            *r = None;
+                        }
+                        completed = 0;
+                        total_attempts += n as u32;
+                        for idx in 0..n {
+                            submit(idx, stage_attempt);
+                        }
+                        inflight = n;
+                    }
+                },
+            }
+        }
+
+        let out = results.into_iter().map(|r| r.expect("completed")).collect();
+        self.history
+            .record(label, n as u32, total_attempts, stage_start.elapsed());
+        Ok((out, total_attempts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::partition_owner;
+
+    fn tiny() -> LocalCluster {
+        LocalCluster::new(ClusterSpec::local(3, 2))
+    }
+
+    #[test]
+    fn stage_runs_every_task_on_its_executor() {
+        let cluster = tiny();
+        let assignments: Vec<ExecutorId> = (0..6).map(|p| partition_owner(p, 3)).collect();
+        let (got, attempts) = cluster
+            .inner()
+            .run_stage(
+                "where-am-i",
+                &assignments,
+                |idx, ctx| Ok((idx, ctx.executor)),
+                RecoveryPolicy::RetryTask,
+            )
+            .unwrap();
+        assert_eq!(attempts, 6);
+        for (idx, (i, exec)) in got.iter().enumerate() {
+            assert_eq!(*i, idx);
+            assert_eq!(*exec, partition_owner(idx, 3));
+        }
+    }
+
+    #[test]
+    fn retry_task_recovers_from_single_fault() {
+        let cluster = tiny();
+        cluster.fault_plan().fail_once("flaky", 1);
+        let assignments = vec![ExecutorId(0), ExecutorId(1), ExecutorId(2)];
+        let (got, attempts) = cluster
+            .inner()
+            .run_stage(
+                "flaky",
+                &assignments,
+                |idx, _ctx| Ok(idx * 10),
+                RecoveryPolicy::RetryTask,
+            )
+            .unwrap();
+        assert_eq!(got, vec![0, 10, 20]);
+        assert_eq!(attempts, 4, "three tasks + one retry");
+    }
+
+    #[test]
+    fn retry_task_gives_up_after_max_attempts() {
+        let cluster = tiny();
+        for attempt in 0..10 {
+            cluster.fault_plan().fail_attempt("doomed", 0, attempt);
+        }
+        let err = cluster
+            .inner()
+            .run_stage(
+                "doomed",
+                &[ExecutorId(0)],
+                |_idx, _ctx| Ok(()),
+                RecoveryPolicy::RetryTask,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::TaskFailed { attempts: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn resubmit_stage_clears_shared_state_and_reruns_all() {
+        use crate::objects::ObjectId;
+        let cluster = tiny();
+        let op = cluster.inner().next_op();
+        cluster.fault_plan().fail_once("imm-stage", 2);
+        let assignments = vec![ExecutorId(0), ExecutorId(1), ExecutorId(2)];
+        let (_, attempts) = cluster
+            .inner()
+            .run_stage(
+                "imm-stage",
+                &assignments,
+                move |idx, ctx| {
+                    ctx.objects
+                        .merge_in(ObjectId { op, slot: 0 }, 1u64, |a, b| *a += b);
+                    Ok(idx)
+                },
+                RecoveryPolicy::ResubmitStage { op },
+            )
+            .unwrap();
+        // First submission: tasks 0,1 merged then task 2 failed -> cleanup +
+        // full resubmission. Each executor's object must hold exactly one
+        // merge (from the clean rerun).
+        assert_eq!(attempts, 6, "3 first attempt + 3 resubmitted");
+        for e in 0..3 {
+            let v = cluster
+                .inner()
+                .executor_ctx(ExecutorId(e))
+                .objects
+                .take::<u64>(ObjectId { op, slot: 0 });
+            assert_eq!(v, Some(1), "executor {e} state not cleanly rebuilt");
+        }
+    }
+
+    #[test]
+    fn bm_roundtrip_executor_to_driver() {
+        let cluster = tiny();
+        let inner = cluster.inner().clone();
+        let (results, _) = inner
+            .run_stage(
+                "report",
+                &[ExecutorId(1)],
+                {
+                    let inner = inner.clone();
+                    move |_idx, ctx| {
+                        inner.bm_send_to_driver(ctx.executor, Bytes::from_static(b"result"))?;
+                        Ok(())
+                    }
+                },
+                RecoveryPolicy::RetryTask,
+            )
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        let frame = inner.driver_recv(ExecutorId(1)).unwrap();
+        assert_eq!(&frame[..], b"result");
+    }
+
+    #[test]
+    fn ring_comm_reaches_all_executors() {
+        let cluster = tiny();
+        let inner = cluster.inner().clone();
+        let ring = inner.build_ring(2);
+        let inner2 = inner.clone();
+        let ring2 = ring.clone();
+        let (ranks, _) = inner
+            .run_stage(
+                "ring-hello",
+                &[ExecutorId(0), ExecutorId(1), ExecutorId(2)],
+                move |_idx, ctx| {
+                    let comm = inner2.ring_comm(&ring2, ctx.executor);
+                    comm.send_next(0, Bytes::from(vec![comm.rank() as u8]))
+                        .map_err(TaskFailure::from)?;
+                    let got = comm.recv_prev(0).map_err(TaskFailure::from)?;
+                    Ok((comm.rank(), got[0] as usize))
+                },
+                RecoveryPolicy::RetryTask,
+            )
+            .unwrap();
+        for (rank, prev) in ranks {
+            assert_eq!(prev, (rank + 2) % 3);
+        }
+    }
+
+    #[test]
+    fn cluster_shuts_down_cleanly() {
+        let cluster = tiny();
+        drop(cluster); // must not hang or leak panics
+    }
+}

@@ -1,0 +1,199 @@
+//! Stage history — the engine's Spark history log.
+//!
+//! The paper's bottleneck analysis (§2.3) starts from Spark's history logs:
+//! per-stage timings that let the authors attribute end-to-end time to
+//! aggregation stages vs everything else (Figure 2) and split tree
+//! aggregation into its compute and reduce stages (Figures 3–4). The engine
+//! records the same information for every stage it runs, so the same
+//! analysis can be replayed against this reproduction's real executions.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// One completed stage (including all resubmissions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageEvent {
+    /// Stage label, e.g. `tree-compute-op7`, `split-ring-op9`, `broadcast-op3`.
+    pub label: String,
+    /// Tasks in one submission of the stage.
+    pub tasks: u32,
+    /// Task attempts across retries/resubmissions.
+    pub attempts: u32,
+    /// Wall time from submission to last result.
+    pub wall: Duration,
+    /// Offset from cluster start when the stage completed.
+    pub completed_at: Duration,
+}
+
+impl StageEvent {
+    /// The stage kind: the label with its `-op<N>[...]` suffix stripped
+    /// (also drops shuffle level suffixes like `-op7-l1`).
+    pub fn kind(&self) -> &str {
+        match self.label.rfind("-op") {
+            Some(idx)
+                if self.label[idx + 3..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit()) =>
+            {
+                &self.label[..idx]
+            }
+            _ => &self.label,
+        }
+    }
+}
+
+/// Append-only per-cluster stage log.
+pub struct History {
+    start: Instant,
+    events: Mutex<Vec<StageEvent>>,
+}
+
+impl Default for History {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl History {
+    pub fn new() -> Self {
+        Self { start: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// Records one completed stage.
+    pub fn record(&self, label: &str, tasks: u32, attempts: u32, wall: Duration) {
+        self.events.lock().push(StageEvent {
+            label: label.to_string(),
+            tasks,
+            attempts,
+            wall,
+            completed_at: self.start.elapsed(),
+        });
+    }
+
+    /// A copy of all events so far, in completion order.
+    pub fn snapshot(&self) -> Vec<StageEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Total wall time of stages whose label starts with `prefix`.
+    pub fn time_with_prefix(&self, prefix: &str) -> Duration {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.label.starts_with(prefix))
+            .map(|e| e.wall)
+            .sum()
+    }
+
+    /// Total stage wall time (stages may overlap driver work; this is the
+    /// paper's stage-sum denominator, not end-to-end time).
+    pub fn total_stage_time(&self) -> Duration {
+        self.events.lock().iter().map(|e| e.wall).sum()
+    }
+
+    /// The fraction of stage time spent in aggregation stages (compute,
+    /// shuffle, ring, final) — the statistic behind Figure 2.
+    pub fn aggregation_share(&self) -> f64 {
+        let total = self.total_stage_time().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let agg: f64 = self
+            .events
+            .lock()
+            .iter()
+            .filter(|e| {
+                let k = e.kind();
+                k.starts_with("tree-") || k.starts_with("split-") || k.starts_with("allreduce-")
+            })
+            .map(|e| e.wall.as_secs_f64())
+            .sum();
+        agg / total
+    }
+
+    /// Per-kind (label sans op ids) totals, sorted by descending time.
+    pub fn summary(&self) -> Vec<(String, Duration, u32)> {
+        let mut map: std::collections::BTreeMap<String, (Duration, u32)> = Default::default();
+        for e in self.events.lock().iter() {
+            let entry = map.entry(e.kind().to_string()).or_default();
+            entry.0 += e.wall;
+            entry.1 += e.attempts;
+        }
+        let mut out: Vec<(String, Duration, u32)> =
+            map.into_iter().map(|(k, (d, a))| (k, d, a)).collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+
+    /// Drops all recorded events (between benchmark phases).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = History::new();
+        h.record("tree-compute-op1", 4, 5, Duration::from_millis(10));
+        h.record("tree-final-op1", 2, 2, Duration::from_millis(5));
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].tasks, 4);
+        assert_eq!(snap[0].attempts, 5);
+        assert!(snap[1].completed_at >= snap[0].completed_at);
+    }
+
+    #[test]
+    fn kind_strips_op_suffixes() {
+        let mk = |label: &str| StageEvent {
+            label: label.into(),
+            tasks: 1,
+            attempts: 1,
+            wall: Duration::ZERO,
+            completed_at: Duration::ZERO,
+        };
+        assert_eq!(mk("tree-compute-op12").kind(), "tree-compute");
+        assert_eq!(mk("tree-shuffle-op7-l1").kind(), "tree-shuffle");
+        assert_eq!(mk("split-ring-op3").kind(), "split-ring");
+        assert_eq!(mk("collect").kind(), "collect");
+        assert_eq!(mk("my-opaque-label").kind(), "my-opaque-label");
+    }
+
+    #[test]
+    fn aggregation_share_counts_agg_stages_only() {
+        let h = History::new();
+        h.record("count", 4, 4, Duration::from_millis(30));
+        h.record("tree-compute-op1", 4, 4, Duration::from_millis(60));
+        h.record("tree-final-op1", 2, 2, Duration::from_millis(10));
+        let share = h.aggregation_share();
+        assert!((share - 0.7).abs() < 1e-9, "{share}");
+    }
+
+    #[test]
+    fn summary_groups_and_sorts() {
+        let h = History::new();
+        h.record("split-imm-op1", 4, 4, Duration::from_millis(5));
+        h.record("split-imm-op2", 4, 4, Duration::from_millis(5));
+        h.record("split-ring-op1", 3, 3, Duration::from_millis(40));
+        let s = h.summary();
+        assert_eq!(s[0].0, "split-ring");
+        assert_eq!(s[1].0, "split-imm");
+        assert_eq!(s[1].1, Duration::from_millis(10));
+        assert_eq!(s[1].2, 8);
+    }
+
+    #[test]
+    fn clear_empties_the_log() {
+        let h = History::new();
+        h.record("x", 1, 1, Duration::from_millis(1));
+        h.clear();
+        assert!(h.snapshot().is_empty());
+        assert_eq!(h.aggregation_share(), 0.0);
+    }
+}

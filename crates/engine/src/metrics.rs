@@ -1,0 +1,100 @@
+//! Aggregation run metrics.
+//!
+//! The paper's analysis decomposes tree aggregation into *computation* (the
+//! first stage, where partition aggregators are built) and *reduction*
+//! (everything after, until the driver holds one aggregator) — Figures 3, 4
+//! and 18 are built on that decomposition. Every aggregation op in this
+//! engine reports an [`AggMetrics`] with the same split plus byte-level
+//! accounting, so benchmarks and tests can assert not just totals but *why*
+//! a strategy wins (e.g. IMM's benefit shows up in `ser_bytes_to_driver`).
+
+use std::time::Duration;
+
+/// Which aggregation strategy produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggStrategy {
+    /// Spark's `treeAggregate`: per-partition results, shuffle tree, driver merge.
+    Tree,
+    /// Tree aggregation with In-Memory Merge in the compute stage.
+    TreeImm,
+    /// Sparker's split aggregation: IMM + ring reduce-scatter + gather.
+    Split,
+    /// Split aggregation with recursive halving instead of the ring.
+    SplitHalving,
+}
+
+impl AggStrategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggStrategy::Tree => "tree",
+            AggStrategy::TreeImm => "tree+imm",
+            AggStrategy::Split => "split",
+            AggStrategy::SplitHalving => "split-halving",
+        }
+    }
+}
+
+/// Timing and traffic decomposition of one aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggMetrics {
+    pub strategy: AggStrategy,
+    /// Wall time of the compute stage (paper: "Agg-compute").
+    pub compute: Duration,
+    /// Wall time from compute-stage completion to the driver holding the
+    /// final value (paper: "Agg-reduce").
+    pub reduce: Duration,
+    /// Portion of `reduce` the driver spent deserializing + merging.
+    pub driver_merge: Duration,
+    /// Aggregator bytes serialized anywhere (shuffle + results + ring).
+    pub ser_bytes: u64,
+    /// Aggregator bytes that crossed into the driver.
+    pub bytes_to_driver: u64,
+    /// Aggregator-carrying messages sent.
+    pub messages: u64,
+    /// Stages executed (including resubmissions).
+    pub stages: u32,
+    /// Task attempts executed (retries included).
+    pub task_attempts: u32,
+}
+
+impl AggMetrics {
+    pub fn new(strategy: AggStrategy) -> Self {
+        Self {
+            strategy,
+            compute: Duration::ZERO,
+            reduce: Duration::ZERO,
+            driver_merge: Duration::ZERO,
+            ser_bytes: 0,
+            bytes_to_driver: 0,
+            messages: 0,
+            stages: 0,
+            task_attempts: 0,
+        }
+    }
+
+    /// Total aggregation wall time.
+    pub fn total(&self) -> Duration {
+        self.compute + self.reduce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AggStrategy::Tree.name(), "tree");
+        assert_eq!(AggStrategy::TreeImm.name(), "tree+imm");
+        assert_eq!(AggStrategy::Split.name(), "split");
+        assert_eq!(AggStrategy::SplitHalving.name(), "split-halving");
+    }
+
+    #[test]
+    fn total_is_compute_plus_reduce() {
+        let mut m = AggMetrics::new(AggStrategy::Tree);
+        m.compute = Duration::from_millis(10);
+        m.reduce = Duration::from_millis(5);
+        assert_eq!(m.total(), Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,241 @@
+//! The mutable object manager (paper §4, Figure 9).
+//!
+//! Sparker extends each executor with a *mutable object manager*: a store
+//! for intermediate state **shared by tasks on the same executor** — the
+//! thing plain RDDs forbid. In-Memory Merge uses it to accumulate task
+//! results into a single per-executor value before serialization, and split
+//! aggregation's statically scheduled stage reads the merged aggregator back
+//! out of it.
+//!
+//! Values are type-erased (`Box<dyn Any>`) because a single executor hosts
+//! objects of many aggregator types across stages. Typed access panics on a
+//! type mismatch, which is always an engine bug, not user error.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Key of a shared object: (operation id, slot).
+///
+/// Operation ids are allocated per aggregation run, so resubmitted stages
+/// reuse the same key and correctly overwrite the poisoned value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectId {
+    pub op: u64,
+    pub slot: u64,
+}
+
+type Slot = Mutex<Option<Box<dyn Any + Send>>>;
+
+/// Per-executor store of shared mutable objects.
+#[derive(Default)]
+pub struct MutableObjectManager {
+    // Two-level locking: the map lock is held only to find/create the slot;
+    // per-slot locks serialize merges so concurrent tasks on different
+    // objects don't contend.
+    slots: Mutex<HashMap<ObjectId, std::sync::Arc<Slot>>>,
+}
+
+impl MutableObjectManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&self, id: ObjectId) -> std::sync::Arc<Slot> {
+        self.slots.lock().entry(id).or_default().clone()
+    }
+
+    /// Merges `value` into the object at `id`: the first arrival installs
+    /// itself, later arrivals are combined via `merge`. This is the heart of
+    /// In-Memory Merge.
+    pub fn merge_in<T, F>(&self, id: ObjectId, value: T, merge: F)
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut T, T),
+    {
+        let slot = self.slot(id);
+        let mut guard = slot.lock();
+        match guard.take() {
+            None => *guard = Some(Box::new(value)),
+            Some(existing) => {
+                let mut existing = *existing
+                    .downcast::<T>()
+                    .expect("mutable object type mismatch: engine bug");
+                merge(&mut existing, value);
+                *guard = Some(Box::new(existing));
+            }
+        }
+    }
+
+    /// Folds directly into the shared object while holding its lock — the
+    /// paper-literal IMM semantics ("each task updates its task result
+    /// directly to an in-memory value which is shared among tasks", §3.2).
+    ///
+    /// Unlike [`MutableObjectManager::merge_in`] (fold locally, merge once),
+    /// the whole fold runs under the slot lock, so concurrent tasks on one
+    /// executor serialize — the contention trade-off the SharedFold ablation
+    /// measures.
+    pub fn fold_in<T, F>(&self, id: ObjectId, init: impl FnOnce() -> T, fold: F)
+    where
+        T: Send + 'static,
+        F: FnOnce(T) -> T,
+    {
+        let slot = self.slot(id);
+        let mut guard = slot.lock();
+        let current = match guard.take() {
+            None => init(),
+            Some(existing) => *existing
+                .downcast::<T>()
+                .expect("mutable object type mismatch: engine bug"),
+        };
+        *guard = Some(Box::new(fold(current)));
+    }
+
+    /// Removes and returns the object at `id`.
+    pub fn take<T: Send + 'static>(&self, id: ObjectId) -> Option<T> {
+        let slot = self.slot(id);
+        let mut guard = slot.lock();
+        guard.take().map(|b| {
+            *b.downcast::<T>()
+                .expect("mutable object type mismatch: engine bug")
+        })
+    }
+
+    /// Reads the object at `id` through `f` without removing it.
+    pub fn with<T: Send + 'static, R>(&self, id: ObjectId, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let slot = self.slot(id);
+        let guard = slot.lock();
+        guard.as_ref().map(|b| {
+            f(b.downcast_ref::<T>()
+                .expect("mutable object type mismatch: engine bug"))
+        })
+    }
+
+    /// Clears every object belonging to operation `op` — the cleanup step
+    /// before an IMM stage resubmission (paper §3.2: "we simply clean up the
+    /// failed stage which is stored in the shared in-memory value").
+    pub fn clear_op(&self, op: u64) {
+        let mut slots = self.slots.lock();
+        slots.retain(|id, _| id.op != op);
+    }
+
+    /// Number of live objects (for tests and leak checks).
+    pub fn len(&self) -> usize {
+        let slots = self.slots.lock();
+        slots
+            .values()
+            .filter(|s| s.lock().is_some())
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const ID: ObjectId = ObjectId { op: 1, slot: 0 };
+
+    #[test]
+    fn first_merge_installs_value() {
+        let m = MutableObjectManager::new();
+        m.merge_in(ID, 10u64, |a, b| *a += b);
+        assert_eq!(m.take::<u64>(ID), Some(10));
+        assert_eq!(m.take::<u64>(ID), None);
+    }
+
+    #[test]
+    fn later_merges_combine() {
+        let m = MutableObjectManager::new();
+        m.merge_in(ID, 10u64, |a, b| *a += b);
+        m.merge_in(ID, 5u64, |a, b| *a += b);
+        m.merge_in(ID, 1u64, |a, b| *a += b);
+        assert_eq!(m.take::<u64>(ID), Some(16));
+    }
+
+    #[test]
+    fn with_reads_without_removing() {
+        let m = MutableObjectManager::new();
+        m.merge_in(ID, vec![1u32, 2], |a, mut b| a.append(&mut b));
+        let len = m.with(ID, |v: &Vec<u32>| v.len());
+        assert_eq!(len, Some(2));
+        assert!(m.take::<Vec<u32>>(ID).is_some());
+    }
+
+    #[test]
+    fn clear_op_removes_only_that_op() {
+        let m = MutableObjectManager::new();
+        m.merge_in(ObjectId { op: 1, slot: 0 }, 1u64, |a, b| *a += b);
+        m.merge_in(ObjectId { op: 1, slot: 1 }, 2u64, |a, b| *a += b);
+        m.merge_in(ObjectId { op: 2, slot: 0 }, 3u64, |a, b| *a += b);
+        m.clear_op(1);
+        assert_eq!(m.take::<u64>(ObjectId { op: 1, slot: 0 }), None);
+        assert_eq!(m.take::<u64>(ObjectId { op: 1, slot: 1 }), None);
+        assert_eq!(m.take::<u64>(ObjectId { op: 2, slot: 0 }), Some(3));
+    }
+
+    #[test]
+    fn fold_in_initializes_then_accumulates() {
+        let m = MutableObjectManager::new();
+        m.fold_in(ID, || 100u64, |acc| acc + 1);
+        m.fold_in(ID, || -> u64 { panic!("init must not rerun") }, |acc| acc + 10);
+        assert_eq!(m.take::<u64>(ID), Some(111));
+    }
+
+    #[test]
+    fn concurrent_fold_ins_serialize_but_lose_nothing() {
+        let m = Arc::new(MutableObjectManager::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        m.fold_in(ID, || 0u64, |acc| acc + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.take::<u64>(ID), Some(2000));
+    }
+
+    #[test]
+    fn concurrent_merges_lose_nothing() {
+        let m = Arc::new(MutableObjectManager::new());
+        let threads = 8;
+        let per = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        m.merge_in(ID, 1u64, |a, b| *a += b);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.take::<u64>(ID), Some(threads * per));
+    }
+
+    #[test]
+    fn len_counts_live_objects() {
+        let m = MutableObjectManager::new();
+        assert!(m.is_empty());
+        m.merge_in(ID, 1u8, |a, b| *a += b);
+        assert_eq!(m.len(), 1);
+        m.take::<u8>(ID);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let m = MutableObjectManager::new();
+        m.merge_in(ID, 1u64, |a, b| *a += b);
+        m.take::<u32>(ID);
+    }
+}

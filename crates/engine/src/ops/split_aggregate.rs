@@ -1,0 +1,486 @@
+//! Split aggregation — the Sparker contribution (paper §3.1, §4).
+//!
+//! The pipeline exactly follows the paper:
+//!
+//! 1. **Reduced-result stage (IMM)** — one task per partition folds its
+//!    partition with `seqOp` and merges the result into the executor's
+//!    shared aggregator in the mutable object manager. After the stage there
+//!    is exactly one aggregator `U` per executor (executors with no
+//!    partitions hold the zero value). Nothing has been serialized yet.
+//! 2. **Statically-scheduled ring stage (the paper's `SpawnRDD`)** — one
+//!    task pinned to every executor. Each task splits its aggregator into
+//!    `P·N` segments by calling the user's `splitOp(u, i, n)` from `P`
+//!    parallel threads, then runs ring reduce-scatter over the parallel
+//!    directed ring through the scalable communicator, merging segments with
+//!    the user's `reduceOp`. Each executor finishes owning `P` fully-reduced
+//!    segments.
+//! 3. **Gather + concat** — owned segments are serialized and collected to
+//!    the driver over Spark's normal result path, where the user's
+//!    `concatOp` reassembles the final value `V`.
+//!
+//! Compared to tree aggregation, per-executor traffic drops from
+//! `O(log N)` whole aggregators to `(N−1)/N`-th of one aggregator, and the
+//! driver receives exactly one aggregator's worth of bytes regardless of
+//! cluster size.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sparker_net::codec::{Decoder, Encoder, Payload};
+use sparker_net::topology::ExecutorId;
+
+use sparker_collectives::halving::recursive_halving_reduce_scatter_by;
+use sparker_collectives::ring::{ring_reduce_scatter_by, OwnedSegment};
+use sparker_collectives::segment::slice_bounds;
+
+use crate::cluster::{LocalCluster, RecoveryPolicy};
+use crate::metrics::{AggMetrics, AggStrategy};
+use crate::objects::ObjectId;
+use crate::ops::basic::{fold_partition, partition_assignments};
+use crate::rdd::{Data, RddRef};
+use crate::task::{EngineError, EngineResult, TaskFailure};
+
+/// Which reduce-scatter algorithm the ring stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsAlgorithm {
+    /// Ring reduce-scatter over the PDR (the paper's choice).
+    Ring,
+    /// Recursive halving (Rabenseifner) — the ablation alternative.
+    Halving,
+}
+
+/// How tasks merge into the shared per-executor aggregator (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImmMode {
+    /// Each task folds its partition into a private aggregator, then merges
+    /// it into the shared value once (one short critical section per task).
+    #[default]
+    LocalFold,
+    /// The paper-literal variant: each task folds its partition *directly*
+    /// into the shared value, holding its lock for the whole fold. No
+    /// second aggregator allocation, but tasks on one executor serialize.
+    SharedFold,
+}
+
+/// Options for [`split_aggregate`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitAggOpts {
+    /// PDR channel parallelism; defaults to the cluster spec's value.
+    pub parallelism: Option<usize>,
+    pub algorithm: RsAlgorithm,
+    /// In-memory-merge strategy of the compute stage.
+    pub imm_mode: ImmMode,
+}
+
+impl Default for SplitAggOpts {
+    fn default() -> Self {
+        Self { parallelism: None, algorithm: RsAlgorithm::Ring, imm_mode: ImmMode::LocalFold }
+    }
+}
+
+/// Runs split aggregation; returns the concatenated segment value `V` and
+/// the compute/reduce decomposition.
+///
+/// Closure roles mirror the paper's Figure 6 (`merge_op` is the additional
+/// executor-local merge IMM needs — see DESIGN.md §5a):
+/// * `seq_op(acc, item) -> acc` — folds one sample into an aggregator.
+/// * `merge_op(&mut a, b)` — merges two aggregators inside one executor.
+/// * `split_op(&u, i, n) -> V` — extracts segment `i` of `n`.
+/// * `reduce_op(&mut a, b)` — merges two aggregator-segments.
+/// * `concat_op(segments) -> V` — reassembles the final value.
+#[allow(clippy::too_many_arguments)]
+pub fn split_aggregate<T, U, V, S, M, Sp, R, C>(
+    cluster: &LocalCluster,
+    rdd: RddRef<T>,
+    zero: U,
+    seq_op: S,
+    merge_op: M,
+    split_op: Sp,
+    reduce_op: R,
+    concat_op: C,
+    opts: SplitAggOpts,
+) -> EngineResult<(V, AggMetrics)>
+where
+    T: Data,
+    U: Clone + Send + Sync + 'static,
+    V: Payload + Send + 'static,
+    S: Fn(U, &T) -> U + Send + Sync + 'static,
+    M: Fn(&mut U, U) + Send + Sync + 'static,
+    Sp: Fn(&U, usize, usize) -> V + Send + Sync + 'static,
+    R: Fn(&mut V, V) + Send + Sync + 'static,
+    C: FnOnce(Vec<V>) -> V,
+{
+    let inner = cluster.inner().clone();
+    let _action = inner.lock_action();
+    let op = inner.next_op();
+    let parts = rdd.num_partitions();
+    if parts == 0 {
+        return Err(EngineError::Invalid("split_aggregate over zero partitions".into()));
+    }
+    let nexec = inner.num_executors();
+    let parallelism = opts.parallelism.unwrap_or(inner.spec().ring_parallelism);
+
+    let strategy = match opts.algorithm {
+        RsAlgorithm::Ring => AggStrategy::Split,
+        RsAlgorithm::Halving => AggStrategy::SplitHalving,
+    };
+    let mut metrics = AggMetrics::new(strategy);
+    let ser_bytes = Arc::new(AtomicU64::new(0));
+
+    // --- Stage 1: reduced-result stage (IMM) ----------------------------
+    let t0 = Instant::now();
+    let assignments = partition_assignments(&inner, &rdd);
+    let imm_label = format!("split-imm-op{op}");
+    {
+        let rdd = rdd.clone();
+        let seq = Arc::new(seq_op);
+        let merge = Arc::new(merge_op);
+        let zero = zero.clone();
+        let imm_mode = opts.imm_mode;
+        let (_, attempts) = inner.run_stage(
+            &imm_label,
+            &assignments,
+            move |idx, ctx| {
+                let id = ObjectId { op, slot: ctx.executor.0 as u64 };
+                match imm_mode {
+                    ImmMode::LocalFold => {
+                        let acc = fold_partition(&rdd, idx, ctx, zero.clone(), seq.as_ref())?;
+                        let merge = merge.clone();
+                        ctx.objects.merge_in(id, acc, move |a, b| merge(a, b));
+                    }
+                    ImmMode::SharedFold => {
+                        // Fold the partition directly into the shared value
+                        // under its lock (paper-literal §3.2 semantics).
+                        let rdd = &rdd;
+                        let seq = &seq;
+                        let zero = &zero;
+                        ctx.objects.fold_in(id, || zero.clone(), |mut acc: U| {
+                            for item in rdd.compute(idx, ctx) {
+                                acc = seq(acc, &item);
+                            }
+                            acc
+                        });
+                    }
+                }
+                Ok(())
+            },
+            RecoveryPolicy::ResubmitStage { op },
+        )?;
+        metrics.task_attempts += attempts;
+        metrics.stages += 1;
+    }
+    metrics.compute = t0.elapsed();
+
+    // --- Stage 2: SpawnRDD ring stage ------------------------------------
+    let t1 = Instant::now();
+    let sc_before = cluster.sc_stats();
+    let ring = inner.build_ring(parallelism);
+    let n = ring.size();
+    // Ring RS needs exactly P*N segments; halving needs a multiple of the
+    // largest power of two <= N. Pad the segment count up when needed.
+    let total_segments = match opts.algorithm {
+        RsAlgorithm::Ring => parallelism * n,
+        RsAlgorithm::Halving => {
+            let mut p2 = 1usize;
+            while p2 * 2 <= n {
+                p2 *= 2;
+            }
+            (parallelism * n).div_ceil(p2) * p2
+        }
+    };
+
+    let ring_label = format!("split-ring-op{op}");
+    let all_execs: Vec<ExecutorId> = (0..nexec).map(|e| ExecutorId(e as u32)).collect();
+    {
+        let inner2 = inner.clone();
+        let ring = ring.clone();
+        let split = Arc::new(split_op);
+        let reduce = Arc::new(reduce_op);
+        let zero = zero.clone();
+        let ser_bytes = ser_bytes.clone();
+        let algorithm = opts.algorithm;
+        let (_, attempts) = inner.run_stage(
+            &ring_label,
+            &all_execs,
+            move |_idx, ctx| {
+                let u: U = ctx
+                    .objects
+                    .take(ObjectId { op, slot: ctx.executor.0 as u64 })
+                    .unwrap_or_else(|| zero.clone());
+
+                // Parallel split: P threads each produce a contiguous chunk
+                // of the segment index space (paper: "multiple threads can
+                // split a single aggregator in parallel").
+                let segments: Vec<V> = {
+                    let split = &split;
+                    let u = &u;
+                    let mut chunks: Vec<Vec<V>> = Vec::with_capacity(parallelism);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..parallelism)
+                            .map(|t| {
+                                s.spawn(move || {
+                                    let (lo, hi) = slice_bounds(total_segments, t, parallelism);
+                                    (lo..hi).map(|g| split(u, g, total_segments)).collect::<Vec<V>>()
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            chunks.push(h.join().expect("split worker panicked"));
+                        }
+                    });
+                    chunks.into_iter().flatten().collect()
+                };
+                drop(u);
+
+                let comm = inner2.ring_comm(&ring, ctx.executor);
+                let owned: Vec<OwnedSegment<V>> = match algorithm {
+                    RsAlgorithm::Ring => {
+                        ring_reduce_scatter_by(&comm, segments, &|a: &mut V, b: V| reduce(a, b))
+                            .map_err(TaskFailure::from)?
+                    }
+                    RsAlgorithm::Halving => recursive_halving_reduce_scatter_by(
+                        &comm,
+                        segments,
+                        &|a: &mut V, b: V| reduce(a, b),
+                    )
+                    .map_err(TaskFailure::from)?,
+                };
+
+                // Gather: serialize owned segments and report them as this
+                // task's result over the normal (BlockManager) result path.
+                let mut enc = Encoder::new();
+                enc.put_usize(owned.len());
+                for o in &owned {
+                    enc.put_usize(o.index);
+                    o.segment.encode_into(&mut enc);
+                }
+                let frame = enc.finish();
+                ser_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                inner2.bm_send_to_driver(ctx.executor, frame)?;
+                Ok(owned.len())
+            },
+            RecoveryPolicy::RetryTask,
+        )?;
+        metrics.task_attempts += attempts;
+        metrics.stages += 1;
+    }
+
+    // --- Driver: gather + concat ------------------------------------------
+    let td = Instant::now();
+    let mut slots: Vec<Option<V>> = (0..total_segments).map(|_| None).collect();
+    for exec in &all_execs {
+        let frame = inner.driver_recv(*exec)?;
+        metrics.bytes_to_driver += frame.len() as u64;
+        let mut dec = Decoder::new(frame);
+        let count = dec.get_usize()?;
+        for _ in 0..count {
+            let idx = dec.get_usize()?;
+            let v = V::decode_from(&mut dec)?;
+            if idx >= total_segments || slots[idx].is_some() {
+                return Err(EngineError::Invalid(format!("segment {idx} duplicated or out of range")));
+            }
+            slots[idx] = Some(v);
+        }
+    }
+    let segments: Vec<V> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.ok_or_else(|| EngineError::Invalid(format!("segment {i} missing"))))
+        .collect::<EngineResult<_>>()?;
+    let result = concat_op(segments);
+    metrics.driver_merge = td.elapsed();
+    metrics.reduce = t1.elapsed();
+
+    let sc_after = cluster.sc_stats();
+    metrics.ser_bytes =
+        ser_bytes.load(Ordering::Relaxed) + (sc_after.bytes - sc_before.bytes);
+    metrics.messages = (sc_after.messages - sc_before.messages) + nexec as u64;
+    Ok((result, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterSpec;
+    use crate::rdds::ParallelCollection;
+    use sparker_net::codec::F64Array;
+
+    /// Sums vectors of f64 across partitions via split aggregation.
+    fn run_split(
+        executors: usize,
+        cores: usize,
+        parts: usize,
+        dim: usize,
+        opts: SplitAggOpts,
+    ) -> (Vec<f64>, AggMetrics) {
+        let cluster = LocalCluster::new(ClusterSpec::local(executors, cores));
+        let data: Vec<u64> = (1..=64).collect();
+        let expected_count = data.len() as f64;
+        let rdd: RddRef<u64> = Arc::new(ParallelCollection::new(data, parts));
+        let (v, m) = split_aggregate(
+            &cluster,
+            rdd,
+            vec![0.0f64; dim],
+            move |mut acc: Vec<f64>, x: &u64| {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a += (*x as f64) * (i + 1) as f64;
+                }
+                acc
+            },
+            |a: &mut Vec<f64>, b: Vec<f64>| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            },
+            |u: &Vec<f64>, i: usize, n: usize| {
+                let (lo, hi) = slice_bounds(u.len(), i, n);
+                F64Array(u[lo..hi].to_vec())
+            },
+            |a: &mut F64Array, b: F64Array| {
+                for (x, y) in a.0.iter_mut().zip(b.0) {
+                    *x += y;
+                }
+            },
+            |segs: Vec<F64Array>| {
+                F64Array(segs.into_iter().flat_map(|s| s.0).collect())
+            },
+            opts,
+        )
+        .unwrap();
+        let _ = expected_count;
+        (v.0, m)
+    }
+
+    fn expected(dim: usize) -> Vec<f64> {
+        let total: f64 = (1..=64u64).map(|x| x as f64).sum();
+        (0..dim).map(|i| total * (i + 1) as f64).collect()
+    }
+
+    #[test]
+    fn split_aggregate_matches_sequential_sum() {
+        let (v, m) = run_split(4, 2, 8, 37, SplitAggOpts::default());
+        assert_eq!(v, expected(37));
+        assert_eq!(m.strategy, AggStrategy::Split);
+        assert_eq!(m.stages, 2);
+    }
+
+    #[test]
+    fn split_aggregate_single_executor() {
+        let (v, _) = run_split(1, 2, 4, 10, SplitAggOpts::default());
+        assert_eq!(v, expected(10));
+    }
+
+    #[test]
+    fn split_aggregate_more_executors_than_partitions() {
+        // Executors without partitions contribute the zero aggregator.
+        let (v, _) = run_split(6, 1, 2, 12, SplitAggOpts::default());
+        assert_eq!(v, expected(12));
+    }
+
+    #[test]
+    fn split_aggregate_parallelism_sweep() {
+        for p in [1, 2, 4, 8] {
+            let (v, _) = run_split(
+                3,
+                2,
+                6,
+                29,
+                SplitAggOpts { parallelism: Some(p), ..Default::default() },
+            );
+            assert_eq!(v, expected(29), "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn split_aggregate_halving_algorithm() {
+        for execs in [2, 3, 4, 5] {
+            let (v, m) = run_split(
+                execs,
+                2,
+                8,
+                31,
+                SplitAggOpts { parallelism: Some(2), algorithm: RsAlgorithm::Halving, imm_mode: ImmMode::LocalFold },
+            );
+            assert_eq!(v, expected(31), "executors {execs}");
+            assert_eq!(m.strategy, AggStrategy::SplitHalving);
+        }
+    }
+
+    #[test]
+    fn dimension_smaller_than_segments() {
+        // 37-dim vector split into P*N = 16 segments: some segments are
+        // empty slices; concat must still reassemble exactly.
+        let (v, _) = run_split(8, 1, 8, 7, SplitAggOpts { parallelism: Some(2), ..Default::default() });
+        assert_eq!(v, expected(7));
+    }
+
+    #[test]
+    fn shared_fold_matches_local_fold() {
+        for imm_mode in [ImmMode::LocalFold, ImmMode::SharedFold] {
+            let (v, _) = run_split(
+                3,
+                2,
+                9,
+                41,
+                SplitAggOpts { parallelism: Some(2), algorithm: RsAlgorithm::Ring, imm_mode },
+            );
+            assert_eq!(v, expected(41), "{imm_mode:?}");
+        }
+    }
+
+    #[test]
+    fn shared_fold_survives_stage_resubmission() {
+        let cluster = LocalCluster::new(ClusterSpec::local(2, 2));
+        cluster.fault_plan().fail_once("split-imm-op1", 2);
+        let rdd: RddRef<u64> = Arc::new(ParallelCollection::new((1..=12).collect(), 4));
+        let (v, _) = split_aggregate(
+            &cluster,
+            rdd,
+            0.0f64,
+            |acc, x| acc + *x as f64,
+            |a, b| *a += b,
+            |u, i, _n| if i == 0 { *u } else { 0.0 },
+            |a, b| *a += b,
+            |segs| segs.into_iter().sum::<f64>(),
+            SplitAggOpts {
+                parallelism: Some(1),
+                algorithm: RsAlgorithm::Ring,
+                imm_mode: ImmMode::SharedFold,
+            },
+        )
+        .unwrap();
+        assert_eq!(v, 78.0);
+    }
+
+    #[test]
+    fn imm_stage_fault_resubmits_and_result_stays_correct() {
+        let cluster = LocalCluster::new(ClusterSpec::local(2, 2));
+        cluster.fault_plan().fail_once("split-imm-op1", 1);
+        let rdd: RddRef<u64> = Arc::new(ParallelCollection::new((1..=10).collect(), 4));
+        let (v, m) = split_aggregate(
+            &cluster,
+            rdd,
+            0.0f64,
+            |acc, x| acc + *x as f64,
+            |a, b| *a += b,
+            |u, i, _n| if i == 0 { *u } else { 0.0 },
+            |a, b| *a += b,
+            |segs| segs.into_iter().sum::<f64>(),
+            SplitAggOpts { parallelism: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(v, 55.0);
+        assert!(m.task_attempts > 4 + 2, "stage must have been resubmitted");
+    }
+
+    #[test]
+    fn driver_gets_exactly_one_aggregator_of_bytes() {
+        let dim = 1000;
+        let (_, m) = run_split(4, 2, 8, dim, SplitAggOpts::default());
+        let payload = (dim * 8) as u64;
+        // Headers add a little; the point is it is ~1x the aggregator, not N x.
+        assert!(m.bytes_to_driver >= payload);
+        assert!(m.bytes_to_driver < payload * 2, "driver got {} bytes", m.bytes_to_driver);
+    }
+}

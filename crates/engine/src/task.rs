@@ -1,0 +1,194 @@
+//! Tasks, stages, failures and fault injection.
+//!
+//! The engine schedules work as *stages* of *tasks*, like Spark. A task is a
+//! closure pinned to an executor; it runs on one of that executor's core
+//! slots and reports success or failure to the driver. Two failure-recovery
+//! policies exist, matching the paper's §3.2 discussion:
+//!
+//! * **Per-task retry** — ordinary stages have independent, idempotent
+//!   tasks; the driver re-runs just the failed task.
+//! * **Stage resubmission** — reduced-result (IMM) stages share a mutable
+//!   per-executor value, so tasks are *not* independent: any failure
+//!   invalidates the executor-local merge state and the driver clears it and
+//!   resubmits the whole stage.
+//!
+//! Deterministic fault injection ([`FaultPlan`]) lets tests exercise both
+//! paths without randomness.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use sparker_net::error::NetError;
+use sparker_net::topology::ExecutorId;
+
+/// Errors surfaced by engine operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A task failed more times than the retry budget allows.
+    TaskFailed { stage: String, task: usize, attempts: u32, reason: String },
+    /// A transport or codec problem below the engine.
+    Net(NetError),
+    /// Misuse of an engine API.
+    Invalid(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TaskFailed { stage, task, attempts, reason } => write!(
+                f,
+                "task {task} of stage '{stage}' failed after {attempts} attempts: {reason}"
+            ),
+            EngineError::Net(e) => write!(f, "network error: {e}"),
+            EngineError::Invalid(msg) => write!(f, "invalid engine usage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<NetError> for EngineError {
+    fn from(e: NetError) -> Self {
+        EngineError::Net(e)
+    }
+}
+
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// A failure a task reports (injected or organic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskFailure {
+    pub reason: String,
+}
+
+impl From<NetError> for TaskFailure {
+    fn from(e: NetError) -> Self {
+        TaskFailure { reason: format!("network: {e}") }
+    }
+}
+
+/// Identifies one task attempt for fault matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskCoord {
+    /// Hash of the stage label (stable across resubmission).
+    pub stage: u64,
+    pub task: usize,
+    /// 0-based attempt number (per-task for retries, per-stage for
+    /// resubmissions).
+    pub attempt: u32,
+}
+
+fn stage_hash(label: &str) -> u64 {
+    // FNV-1a: stable across runs, unlike the std RandomState hasher.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic fault injection plan.
+///
+/// A fault registered for `(stage_label, task, attempt)` makes exactly that
+/// attempt fail with an injected error; later attempts succeed unless also
+/// registered.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Mutex<HashSet<TaskCoord>>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a fault for a specific attempt of a task.
+    pub fn fail_attempt(&self, stage_label: &str, task: usize, attempt: u32) {
+        self.faults.lock().insert(TaskCoord {
+            stage: stage_hash(stage_label),
+            task,
+            attempt,
+        });
+    }
+
+    /// Registers a fault for the first attempt of a task.
+    pub fn fail_once(&self, stage_label: &str, task: usize) {
+        self.fail_attempt(stage_label, task, 0);
+    }
+
+    /// Checks (without consuming) whether this attempt should fail.
+    pub fn should_fail(&self, stage_label: &str, task: usize, attempt: u32) -> bool {
+        self.faults.lock().contains(&TaskCoord {
+            stage: stage_hash(stage_label),
+            task,
+            attempt,
+        })
+    }
+
+    /// True if any faults are registered (used to skip lookups on hot paths).
+    pub fn is_armed(&self) -> bool {
+        !self.faults.lock().is_empty()
+    }
+}
+
+/// Where each partition of an RDD runs.
+///
+/// Spark prefers data locality: once a partition is cached on an executor,
+/// tasks over it are scheduled there. This engine uses a deterministic
+/// round-robin owner so caching and scheduling always agree.
+pub fn partition_owner(partition: usize, num_executors: usize) -> ExecutorId {
+    ExecutorId((partition % num_executors) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_matches_registered_attempt_only() {
+        let plan = FaultPlan::new();
+        plan.fail_once("stage-a", 2);
+        assert!(plan.should_fail("stage-a", 2, 0));
+        assert!(!plan.should_fail("stage-a", 2, 1));
+        assert!(!plan.should_fail("stage-a", 1, 0));
+        assert!(!plan.should_fail("stage-b", 2, 0));
+        assert!(plan.is_armed());
+    }
+
+    #[test]
+    fn empty_plan_is_unarmed() {
+        let plan = FaultPlan::new();
+        assert!(!plan.is_armed());
+        assert!(!plan.should_fail("x", 0, 0));
+    }
+
+    #[test]
+    fn partition_owner_round_robins() {
+        assert_eq!(partition_owner(0, 4), ExecutorId(0));
+        assert_eq!(partition_owner(5, 4), ExecutorId(1));
+        assert_eq!(partition_owner(7, 4), ExecutorId(3));
+        assert_eq!(partition_owner(3, 1), ExecutorId(0));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = EngineError::TaskFailed {
+            stage: "s".into(),
+            task: 1,
+            attempts: 4,
+            reason: "boom".into(),
+        };
+        assert!(e.to_string().contains("after 4 attempts"));
+        let e: EngineError = NetError::Timeout.into();
+        assert!(e.to_string().contains("network error"));
+    }
+
+    #[test]
+    fn stage_hash_is_stable_and_distinct() {
+        assert_eq!(stage_hash("abc"), stage_hash("abc"));
+        assert_ne!(stage_hash("abc"), stage_hash("abd"));
+    }
+}

@@ -1,0 +1,102 @@
+//! The splittable dense aggregator shared by every model.
+//!
+//! The paper's Figure 7 shows MLlib aggregators are structs of dense `f64`
+//! arrays whose `merge` is element-wise summation. We flatten each model's
+//! aggregator into **one** dense vector with a model-defined layout
+//! (gradient ‖ loss ‖ count, or sufficient-stats matrix ‖ totals ‖ counters)
+//! so a single set of SAI callbacks serves all models:
+//!
+//! * `splitOp(u, i, n)` → contiguous slice `i` of `n` ([`split_dense`]);
+//! * `reduceOp(a, b)` → element-wise add ([`merge_segments`]);
+//! * `concatOp(segments)` → concatenation ([`concat_dense`]).
+//!
+//! Property: for any vector and any `(i, n)` decomposition,
+//! `concat(split(u)) == u` and split-then-reduce equals reduce-then-split —
+//! the invariants the property tests pin down.
+
+pub use sparker_collectives::segment::{slice_bounds, SumSegment};
+use sparker_net::codec::F64Array;
+
+/// A model aggregator: one dense `f64` vector (see module docs).
+pub type DenseAgg = F64Array;
+
+/// Creates a zeroed aggregator of length `n`.
+pub fn zeros(n: usize) -> DenseAgg {
+    F64Array(vec![0.0; n])
+}
+
+/// Element-wise in-place merge of aggregators (the executor-local IMM merge).
+pub fn merge_dense(a: &mut DenseAgg, b: DenseAgg) {
+    assert_eq!(a.0.len(), b.0.len(), "aggregator shape mismatch");
+    for (x, y) in a.0.iter_mut().zip(b.0) {
+        *x += y;
+    }
+}
+
+/// The paper's `splitOp`: segment `i` of `n` as a contiguous slice.
+pub fn split_dense(u: &DenseAgg, i: usize, n: usize) -> SumSegment {
+    let (lo, hi) = slice_bounds(u.0.len(), i, n);
+    SumSegment(u.0[lo..hi].to_vec())
+}
+
+/// The paper's `reduceOp` on segments: element-wise add.
+pub fn merge_segments(a: &mut SumSegment, b: SumSegment) {
+    assert_eq!(a.0.len(), b.0.len(), "segment shape mismatch");
+    for (x, y) in a.0.iter_mut().zip(b.0) {
+        *x += y;
+    }
+}
+
+/// The paper's `concatOp`: segments in index order → full vector.
+pub fn concat_dense(segments: Vec<SumSegment>) -> DenseAgg {
+    F64Array(segments.into_iter().flat_map(|s| s.0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_inverts_split() {
+        let u = F64Array((0..103).map(|i| i as f64 * 0.25).collect());
+        for n in [1, 2, 7, 16, 103, 200] {
+            let segs: Vec<SumSegment> = (0..n).map(|i| split_dense(&u, i, n)).collect();
+            let back = concat_dense(segs);
+            assert_eq!(back, u, "n={n}");
+        }
+    }
+
+    #[test]
+    fn split_then_reduce_equals_reduce_then_split() {
+        let a = F64Array((0..50).map(|i| i as f64).collect());
+        let b = F64Array((0..50).map(|i| 100.0 - i as f64).collect());
+        let n = 7;
+        // reduce then split
+        let mut whole = a.clone();
+        merge_dense(&mut whole, b.clone());
+        let direct: Vec<SumSegment> = (0..n).map(|i| split_dense(&whole, i, n)).collect();
+        // split then reduce
+        let split_first: Vec<SumSegment> = (0..n)
+            .map(|i| {
+                let mut s = split_dense(&a, i, n);
+                merge_segments(&mut s, split_dense(&b, i, n));
+                s
+            })
+            .collect();
+        assert_eq!(direct, split_first);
+    }
+
+    #[test]
+    fn zeros_is_merge_identity() {
+        let u = F64Array(vec![1.5, -2.0, 3.0]);
+        let mut z = zeros(3);
+        merge_dense(&mut z, u.clone());
+        assert_eq!(z, u);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn merge_shape_mismatch_panics() {
+        merge_dense(&mut zeros(3), zeros(4));
+    }
+}

@@ -1,0 +1,189 @@
+//! Classifier evaluation metrics.
+//!
+//! The paper evaluates systems performance, not model quality — but a
+//! credible ML library needs both, and the reproduction's claim that split
+//! aggregation is *semantics-preserving* is only checkable if model quality
+//! is measurable. These metrics back the examples and integration tests.
+
+use crate::point::LabeledPoint;
+
+/// Binary-classification counts at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    pub tp: u64,
+    pub fp: u64,
+    pub tn: u64,
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predictions of `predict` (±1) against labels (±1).
+    pub fn tally(points: &[LabeledPoint], predict: impl Fn(&LabeledPoint) -> f64) -> Self {
+        let mut c = Confusion::default();
+        for p in points {
+            let pos = predict(p) > 0.0;
+            let truth = p.label > 0.0;
+            match (pos, truth) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Mean logistic loss of margin scores against ±1 labels.
+pub fn log_loss(points: &[LabeledPoint], margin: impl Fn(&LabeledPoint) -> f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = points
+        .iter()
+        .map(|p| crate::linalg::log1p_exp(-p.label * margin(p)))
+        .sum();
+    sum / points.len() as f64
+}
+
+/// Area under the ROC curve of margin scores (rank-based; ties get half
+/// credit). 0.5 = chance, 1.0 = perfect ranking.
+pub fn auc(points: &[LabeledPoint], margin: impl Fn(&LabeledPoint) -> f64) -> f64 {
+    let mut pos: Vec<f64> = Vec::new();
+    let mut neg: Vec<f64> = Vec::new();
+    for p in points {
+        if p.label > 0.0 {
+            pos.push(margin(p));
+        } else {
+            neg.push(margin(p));
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for &s in &pos {
+        for &t in &neg {
+            if s > t {
+                wins += 1.0;
+            } else if s == t {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(label: f64, x: f64) -> LabeledPoint {
+        LabeledPoint::new(label, vec![0], vec![x])
+    }
+
+    #[test]
+    fn confusion_counts_and_derived_metrics() {
+        let points = vec![pt(1.0, 1.0), pt(1.0, -1.0), pt(-1.0, 1.0), pt(-1.0, -1.0)];
+        let c = Confusion::tally(&points, |p| p.values[0]);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let points = vec![pt(1.0, 2.0), pt(-1.0, -3.0), pt(1.0, 0.5)];
+        let c = Confusion::tally(&points, |p| p.values[0]);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(auc(&points, |p| p.values[0]), 1.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(log_loss(&[], |_| 0.0), 0.0);
+        // Single-class set: AUC is defined as chance.
+        let only_pos = vec![pt(1.0, 1.0)];
+        assert_eq!(auc(&only_pos, |p| p.values[0]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_ties_and_inversions() {
+        let points = vec![pt(1.0, 1.0), pt(-1.0, 1.0)];
+        assert_eq!(auc(&points, |p| p.values[0]), 0.5, "tie -> half credit");
+        let inverted = vec![pt(1.0, -2.0), pt(-1.0, 2.0)];
+        assert_eq!(auc(&inverted, |p| p.values[0]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_decreases_with_confidence() {
+        let points = vec![pt(1.0, 1.0), pt(-1.0, -1.0)];
+        let weak = log_loss(&points, |p| 0.1 * p.values[0]);
+        let strong = log_loss(&points, |p| 5.0 * p.values[0]);
+        assert!(strong < weak);
+        assert!(strong > 0.0);
+    }
+
+    #[test]
+    fn trained_model_beats_chance_on_auc() {
+        use crate::logistic::LogisticRegression;
+        use sparker_data::synth::ClassificationGen;
+        use sparker_engine::cluster::LocalCluster;
+        let cluster = LocalCluster::local(2, 2);
+        let gen = ClassificationGen::new(61, 64, 8);
+        let g = gen.clone();
+        let data = cluster.generate(4, move |p| {
+            g.partition(p, 4, 1200).into_iter().map(LabeledPoint::from).collect()
+        });
+        let (model, _) = LogisticRegression { iterations: 15, ..Default::default() }
+            .train(&data, 64)
+            .unwrap();
+        let test: Vec<LabeledPoint> =
+            (1200..1600).map(|i| LabeledPoint::from(gen.sample(i))).collect();
+        let a = auc(&test, |p| p.margin(&model.weights));
+        assert!(a > 0.72, "AUC {a}");
+    }
+}

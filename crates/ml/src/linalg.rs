@@ -1,0 +1,105 @@
+//! Small dense/sparse linear-algebra kernels used by the trainers.
+
+/// Dense dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sparse·dense dot product.
+pub fn sparse_dot(indices: &[u32], values: &[f64], w: &[f64]) -> f64 {
+    indices
+        .iter()
+        .zip(values)
+        .map(|(&i, &v)| w.get(i as usize).copied().unwrap_or(0.0) * v)
+        .sum()
+}
+
+/// `y += alpha * x` (dense).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y[i] += alpha * v` for sparse `(i, v)` pairs.
+pub fn sparse_axpy(alpha: f64, indices: &[u32], values: &[f64], y: &mut [f64]) {
+    for (&i, &v) in indices.iter().zip(values) {
+        if let Some(slot) = y.get_mut(i as usize) {
+            *slot += alpha * v;
+        }
+    }
+}
+
+/// `x *= alpha` in place.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Numerically-stable log(1 + e^x).
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn sparse_dot_skips_missing() {
+        let w = [1.0, 2.0, 3.0];
+        assert_eq!(sparse_dot(&[0, 2], &[10.0, 1.0], &w), 13.0);
+        // Out-of-range index contributes 0, not a panic.
+        assert_eq!(sparse_dot(&[5], &[1.0], &w), 0.0);
+    }
+
+    #[test]
+    fn axpy_variants() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, 1.0, -1.0]);
+        sparse_axpy(10.0, &[1], &[0.5], &mut y);
+        assert_eq!(y, vec![3.0, 6.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn log1p_exp_is_stable_and_correct() {
+        for x in [-700.0, -10.0, -1.0, 0.0, 1.0, 10.0, 700.0] {
+            let got = log1p_exp(x);
+            assert!(got.is_finite(), "x={x}");
+            if x.abs() < 20.0 {
+                let want = (1.0 + x.exp()).ln();
+                assert!((got - want).abs() < 1e-12, "x={x}: {got} vs {want}");
+            }
+        }
+        // Large x: log(1+e^x) ~ x.
+        assert!((log1p_exp(700.0) - 700.0).abs() < 1e-9);
+        // Very negative: ~ e^x ~ 0.
+        assert!(log1p_exp(-700.0) >= 0.0);
+    }
+}

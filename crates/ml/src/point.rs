@@ -1,0 +1,93 @@
+//! Labelled sparse data points.
+
+use std::sync::Arc;
+
+use sparker_data::synth::SparseExample;
+use sparker_net::codec::{Decoder, Encoder, Payload};
+use sparker_net::error::NetResult;
+
+/// A labelled sparse feature vector, the RDD item of LR/SVM training.
+///
+/// Feature arrays are behind `Arc` because cached partitions are iterated by
+/// cloning, and a training run iterates the dataset every pass — cloning a
+/// pointer beats cloning a 40-element vector 45 million times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPoint {
+    /// +1.0 or −1.0.
+    pub label: f64,
+    pub indices: Arc<Vec<u32>>,
+    pub values: Arc<Vec<f64>>,
+}
+
+impl LabeledPoint {
+    pub fn new(label: f64, indices: Vec<u32>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), values.len());
+        Self { label, indices: Arc::new(indices), values: Arc::new(values) }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Margin `w · x`.
+    pub fn margin(&self, w: &[f64]) -> f64 {
+        crate::linalg::sparse_dot(&self.indices, &self.values, w)
+    }
+}
+
+impl From<SparseExample> for LabeledPoint {
+    fn from(e: SparseExample) -> Self {
+        Self::new(e.label, e.indices, e.values)
+    }
+}
+
+impl Payload for LabeledPoint {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_f64(self.label);
+        enc.put_u32_slice(&self.indices);
+        enc.put_f64_slice(&self.values);
+    }
+    fn decode_from(dec: &mut Decoder) -> NetResult<Self> {
+        let label = dec.get_f64()?;
+        let indices = dec.get_u32_vec()?;
+        let values = dec.get_f64_vec()?;
+        Ok(Self { label, indices: Arc::new(indices), values: Arc::new(values) })
+    }
+    fn size_hint(&self) -> usize {
+        8 + 16 + 4 * self.indices.len() + 8 * self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_uses_sparse_dot() {
+        let p = LabeledPoint::new(1.0, vec![0, 2], vec![2.0, 3.0]);
+        assert_eq!(p.margin(&[1.0, 100.0, 10.0]), 32.0);
+        assert_eq!(p.nnz(), 2);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = LabeledPoint::new(-1.0, vec![1, 5, 9], vec![0.5, -1.0, 2.0]);
+        let back = LabeledPoint::from_frame(p.to_frame()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn from_sparse_example() {
+        let gen = sparker_data::synth::ClassificationGen::new(1, 100, 5);
+        let e = gen.sample(0);
+        let p: LabeledPoint = e.clone().into();
+        assert_eq!(p.label, e.label);
+        assert_eq!(*p.indices, e.indices);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_rejected() {
+        LabeledPoint::new(1.0, vec![1], vec![]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Linear SVM (the paper's SVM workload, Table 3:
+//! `miniBatchFraction = 1.0`, `regParam = 0.01`).
+
+use sparker_engine::dataset::Dataset;
+use sparker_engine::task::EngineResult;
+
+use crate::glm::{run_gradient_descent, AggregationMode, GdConfig, GradientKind, TrainRecord};
+use crate::point::LabeledPoint;
+
+/// Hinge-loss SVM trainer (MLlib's `SVMWithSGD`).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearSvm {
+    pub iterations: usize,
+    pub step_size: f64,
+    /// Paper setting: 0.01.
+    pub reg_param: f64,
+    /// Paper setting: 1.0.
+    pub mini_batch_fraction: f64,
+    pub mode: AggregationMode,
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self {
+            iterations: 20,
+            step_size: 1.0,
+            reg_param: 0.01,
+            mini_batch_fraction: 1.0,
+            mode: AggregationMode::Tree,
+        }
+    }
+}
+
+/// Trained SVM model.
+#[derive(Debug, Clone)]
+pub struct SvmModel {
+    pub weights: Vec<f64>,
+}
+
+impl SvmModel {
+    pub fn predict(&self, p: &LabeledPoint) -> f64 {
+        if p.margin(&self.weights) > 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    pub fn accuracy(&self, points: &[LabeledPoint]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        let ok = points.iter().filter(|p| self.predict(p) == p.label).count();
+        ok as f64 / points.len() as f64
+    }
+}
+
+impl LinearSvm {
+    pub fn with_mode(mut self, mode: AggregationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    pub fn train(
+        &self,
+        data: &Dataset<LabeledPoint>,
+        dim: usize,
+    ) -> EngineResult<(SvmModel, Vec<TrainRecord>)> {
+        let cfg = GdConfig {
+            iterations: self.iterations,
+            step_size: self.step_size,
+            reg_param: self.reg_param,
+            mini_batch_fraction: self.mini_batch_fraction,
+            mode: self.mode,
+        };
+        let (weights, records) = run_gradient_descent(data, dim, GradientKind::Hinge, cfg)?;
+        Ok((SvmModel { weights }, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_data::synth::ClassificationGen;
+    use sparker_engine::cluster::LocalCluster;
+
+    #[test]
+    fn svm_learns_synthetic_data() {
+        let cluster = LocalCluster::local(2, 2);
+        let gen = ClassificationGen::new(21, 48, 6);
+        let g = gen.clone();
+        let ds = cluster.generate(4, move |p| {
+            g.partition(p, 4, 1600).into_iter().map(LabeledPoint::from).collect()
+        });
+        let (model, records) = LinearSvm { iterations: 40, ..Default::default() }
+            .train(&ds, 48)
+            .unwrap();
+        let test: Vec<LabeledPoint> =
+            (1600..2100).map(|i| LabeledPoint::from(gen.sample(i))).collect();
+        let acc = model.accuracy(&test);
+        assert!(acc >= 0.68, "test accuracy {acc}");
+        assert_eq!(records.len(), 40);
+    }
+
+    #[test]
+    fn paper_parameters_are_defaults() {
+        let svm = LinearSvm::default();
+        assert_eq!(svm.reg_param, 0.01);
+        assert_eq!(svm.mini_batch_fraction, 1.0);
+    }
+
+    #[test]
+    fn split_mode_matches_tree_mode() {
+        let cluster = LocalCluster::local(2, 2);
+        let gen = ClassificationGen::new(23, 16, 4);
+        let g = gen.clone();
+        let ds = cluster.generate(2, move |p| {
+            g.partition(p, 2, 100).into_iter().map(LabeledPoint::from).collect()
+        });
+        let svm = LinearSvm { iterations: 4, ..Default::default() };
+        let (m1, _) = svm.train(&ds, 16).unwrap();
+        let (m2, _) = svm.with_mode(AggregationMode::split()).train(&ds, 16).unwrap();
+        for (a, b) in m1.weights.iter().zip(&m2.weights) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types shared across the substrate.
+
+use std::fmt;
+
+/// Errors surfaced by transports and codecs.
+///
+/// The substrate is in-process, so most classical network failures cannot
+/// happen; what remains is disconnection (an endpoint dropped while a peer
+/// still waits on it) and malformed frames at the codec boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer endpoint hung up before (or while) the message was in flight.
+    Disconnected,
+    /// `recv` was asked for a frame but the deadline elapsed.
+    Timeout,
+    /// A frame failed to decode: the payload did not match the expected shape.
+    Codec(String),
+    /// An executor/rank/channel outside the configured mesh was addressed.
+    InvalidAddress(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Codec(msg) => write!(f, "codec error: {msg}"),
+            NetError::InvalidAddress(msg) => write!(f, "invalid address: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias used across the substrate.
+pub type NetResult<T> = Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(NetError::Disconnected.to_string(), "peer disconnected");
+        assert_eq!(NetError::Timeout.to_string(), "receive timed out");
+        assert_eq!(
+            NetError::Codec("bad tag".into()).to_string(),
+            "codec error: bad tag"
+        );
+        assert_eq!(
+            NetError::InvalidAddress("rank 9 of 4".into()).to_string(),
+            "invalid address: rank 9 of 4"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(NetError::Disconnected, NetError::Disconnected);
+        assert_ne!(NetError::Disconnected, NetError::Timeout);
+    }
+}

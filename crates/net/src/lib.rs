@@ -1,0 +1,47 @@
+//! # sparker-net
+//!
+//! Communication substrate for the Sparker reproduction.
+//!
+//! The Sparker paper (ICPP'21) builds a dedicated low-latency inter-executor
+//! communication layer ("scalable communicator") on top of JeroMQ because
+//! Spark's built-in mechanisms (RPC and the BlockManager) are either
+//! driver-centric or far too slow (3861 µs round-trip vs 16 µs for MPI).
+//! This crate provides the equivalent substrate for our in-process cluster:
+//!
+//! * [`codec`] — the explicit serialization boundary. Every value that crosses
+//!   an executor boundary is encoded into [`bytes::Bytes`] through this module,
+//!   so serialized-byte counts (the quantity In-Memory Merge optimizes) are
+//!   observable everywhere.
+//! * [`profile`] — network profiles: latency/bandwidth of intra-node and
+//!   inter-node links, single-stream (per-channel) caps, NIC line rate, and
+//!   per-transport software overheads. Presets reproduce the paper's two
+//!   clusters (`BIC`: 8× 56-core nodes on 100 Gbps IPoIB, `AWS`: 10×
+//!   96-core m5d.24xlarge on 25 Gbps Ethernet).
+//! * [`transport`] — the [`transport::Transport`] trait plus the shaped
+//!   in-process mesh transport used by executors. Message delivery pays the
+//!   profiled latency + size/bandwidth delay, with separate accounting for
+//!   per-channel streams and the node NIC, which is what makes the paper's
+//!   "parallel channels are required to fill a TCP pipe" observation
+//!   reproducible in-process.
+//! * [`blockmanager`] — a deliberately slow polling key-value transport that
+//!   emulates Spark BlockManager-based message passing (the paper's strawman).
+//! * [`topology`] — executor ranks, the parallel directed ring (PDR), and
+//!   topology-aware ordering (sort executors by hostname so that ring
+//!   neighbours land on the same node whenever possible).
+//! * [`mod@bench`] — ping-pong latency and streaming throughput micro-benchmarks
+//!   used by the Figure 12/13 harnesses.
+
+pub mod bench;
+pub mod blockmanager;
+pub mod codec;
+pub mod error;
+pub mod profile;
+pub mod time;
+pub mod topology;
+pub mod transport;
+
+pub use codec::{Decoder, Encoder, Payload};
+pub use error::NetError;
+pub use profile::{LinkProfile, NetProfile, TransportKind};
+pub use topology::{ExecutorId, ExecutorInfo, RingTopology};
+pub use transport::{MeshTransport, Transport};

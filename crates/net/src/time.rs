@@ -1,0 +1,83 @@
+//! Precise wall-clock waiting.
+//!
+//! The shaped transports enforce microsecond-scale delays (the BIC profile's
+//! one-way latency is 16 µs). `thread::sleep` on Linux routinely overshoots
+//! by 50+ µs, which would destroy the latency ratios Figures 12 and 15 are
+//! built on. [`wait_until`] therefore sleeps only while the remaining time is
+//! comfortably above the scheduler quantum and spins (with `spin_loop` hints)
+//! for the final stretch.
+
+use std::time::{Duration, Instant};
+
+/// Sleep-then-spin until `deadline`.
+///
+/// Returns immediately if the deadline has already passed. Accuracy on an
+/// idle machine is within a few microseconds; the cost is burning one core
+/// for at most the internal spin threshold (200 µs).
+pub fn wait_until(deadline: Instant) {
+    // Below this remaining duration we spin instead of sleeping.
+    const SPIN_THRESHOLD: Duration = Duration::from_micros(200);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > SPIN_THRESHOLD {
+            std::thread::sleep(remaining - SPIN_THRESHOLD);
+        } else {
+            while Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+            return;
+        }
+    }
+}
+
+/// Wait for `delay` starting now. Zero-cost for `Duration::ZERO`.
+pub fn wait_for(delay: Duration) {
+    if delay > Duration::ZERO {
+        wait_until(Instant::now() + delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_delay_returns_immediately() {
+        let start = Instant::now();
+        wait_for(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn past_deadline_returns_immediately() {
+        let start = Instant::now();
+        wait_until(Instant::now() - Duration::from_secs(1));
+        assert!(start.elapsed() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn short_wait_is_accurate() {
+        let target = Duration::from_micros(300);
+        let start = Instant::now();
+        wait_for(target);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= target, "waited only {elapsed:?}");
+        // Generous upper bound: CI machines can be noisy, but we should not
+        // see sleep-quantum overshoot (tens of ms).
+        assert!(elapsed < target + Duration::from_millis(5), "overshot to {elapsed:?}");
+    }
+
+    #[test]
+    fn longer_wait_is_accurate() {
+        let target = Duration::from_millis(5);
+        let start = Instant::now();
+        wait_for(target);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= target);
+        assert!(elapsed < target + Duration::from_millis(10), "overshot to {elapsed:?}");
+    }
+}

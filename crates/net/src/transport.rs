@@ -1,0 +1,510 @@
+//! Shaped in-process transports.
+//!
+//! Executors in this reproduction are threads in one process, so raw channel
+//! sends complete in nanoseconds. To reproduce the paper's network-bound
+//! behaviour, every message through [`MeshTransport`] is stamped with a
+//! *delivery deadline* computed from the cluster's [`NetProfile`]:
+//!
+//! * each directed stream `(from, to, channel)` serializes its own messages
+//!   at the per-channel (single TCP stream) bandwidth;
+//! * all inter-node messages leaving one node additionally serialize through
+//!   that node's egress NIC at line rate — this is what makes six concurrent
+//!   cross-node flows slower than one, i.e. what topology-awareness buys;
+//! * the profiled one-way latency plus the transport's software overhead
+//!   ([`TransportKind`]) is added on top.
+//!
+//! The sender never blocks (asynchronous sends, like ZeroMQ); the receiver
+//! blocks until the deadline using the precise waiter in [`crate::time`].
+//! Bandwidth bookkeeping uses monotonically advancing `busy_until` marks per
+//! resource, which is the classic store-and-forward queueing model: messages
+//! on a shared resource are served back-to-back, never in parallel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::error::{NetError, NetResult};
+use crate::profile::{NetProfile, TransportKind};
+use crate::time::wait_until;
+use crate::topology::{ExecutorId, ExecutorInfo};
+
+/// A point-to-point, multi-channel message transport between executors.
+pub trait Transport: Send + Sync {
+    /// Number of executors addressable by this transport.
+    fn size(&self) -> usize;
+    /// Number of parallel channels per directed pair.
+    fn channels(&self) -> usize;
+    /// Asynchronously sends `msg` on `channel` from `from` to `to`.
+    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: Bytes) -> NetResult<()>;
+    /// Blocks until a message from `from` on `channel` is delivered to `at`.
+    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<Bytes>;
+    /// Like [`Transport::recv`] with an upper bound on the wait.
+    fn recv_timeout(
+        &self,
+        at: ExecutorId,
+        from: ExecutorId,
+        channel: usize,
+        timeout: Duration,
+    ) -> NetResult<Bytes>;
+}
+
+/// Running totals maintained by a transport.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    pub messages: AtomicU64,
+    pub bytes: AtomicU64,
+    pub inter_node_messages: AtomicU64,
+    pub inter_node_bytes: AtomicU64,
+}
+
+/// Point-in-time copy of [`NetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStatsSnapshot {
+    pub messages: u64,
+    pub bytes: u64,
+    pub inter_node_messages: u64,
+    pub inter_node_bytes: u64,
+}
+
+struct InFlight {
+    deliver_at: Instant,
+    payload: Bytes,
+}
+
+/// Fully-connected shaped mesh over in-process channels.
+pub struct MeshTransport {
+    n: usize,
+    channels: usize,
+    profile: NetProfile,
+    kind: TransportKind,
+    /// Node index per executor (dense by executor id).
+    node_of: Vec<usize>,
+    /// `links[(from * n + to) * channels + ch]`.
+    tx: Vec<Sender<InFlight>>,
+    rx: Vec<Receiver<InFlight>>,
+    /// Per-stream serialization marks, same indexing as `tx`.
+    stream_busy: Vec<Mutex<Instant>>,
+    /// Per-node egress NIC serialization marks.
+    nic_busy: Vec<Mutex<Instant>>,
+    /// Per-node ingress NIC serialization marks. Fan-in to one node (e.g.
+    /// every executor reporting results to the driver) bottlenecks here.
+    nic_in_busy: Vec<Mutex<Instant>>,
+    stats: NetStats,
+}
+
+impl MeshTransport {
+    /// Builds a mesh over `executors` with `channels` parallel channels per
+    /// directed pair, shaped by `profile`, with `kind`'s software overheads.
+    pub fn new(
+        executors: &[ExecutorInfo],
+        channels: usize,
+        profile: NetProfile,
+        kind: TransportKind,
+    ) -> Arc<Self> {
+        assert!(!executors.is_empty());
+        assert!(channels > 0);
+        let n = executors.len();
+        let mut node_of = vec![0usize; n];
+        for e in executors {
+            assert!(e.id.index() < n, "executor ids must be dense");
+            node_of[e.id.index()] = e.node;
+        }
+        let num_nodes = node_of.iter().copied().max().unwrap_or(0) + 1;
+        let now = Instant::now();
+        let mut tx = Vec::with_capacity(n * n * channels);
+        let mut rx = Vec::with_capacity(n * n * channels);
+        let mut stream_busy = Vec::with_capacity(n * n * channels);
+        for _ in 0..n * n * channels {
+            let (s, r) = unbounded();
+            tx.push(s);
+            rx.push(r);
+            stream_busy.push(Mutex::new(now));
+        }
+        let nic_busy = (0..num_nodes).map(|_| Mutex::new(now)).collect();
+        let nic_in_busy = (0..num_nodes).map(|_| Mutex::new(now)).collect();
+        Arc::new(Self {
+            n,
+            channels,
+            profile,
+            kind,
+            node_of,
+            tx,
+            rx,
+            stream_busy,
+            nic_busy,
+            nic_in_busy,
+            stats: NetStats::default(),
+        })
+    }
+
+    /// Convenience constructor with no shaping (tests, pure correctness).
+    pub fn unshaped(executors: &[ExecutorInfo], channels: usize) -> Arc<Self> {
+        Self::new(executors, channels, NetProfile::unshaped(), TransportKind::ScalableComm)
+    }
+
+    fn idx(&self, from: ExecutorId, to: ExecutorId, channel: usize) -> NetResult<usize> {
+        let (f, t) = (from.index(), to.index());
+        if f >= self.n || t >= self.n || channel >= self.channels {
+            return Err(NetError::InvalidAddress(format!(
+                "({from}, {to}, ch{channel}) outside mesh of {} executors x {} channels",
+                self.n, self.channels
+            )));
+        }
+        Ok((f * self.n + t) * self.channels + channel)
+    }
+
+    /// The network profile this mesh enforces.
+    pub fn profile(&self) -> &NetProfile {
+        &self.profile
+    }
+
+    /// Which transport implementation this mesh models.
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            messages: self.stats.messages.load(Ordering::Relaxed),
+            bytes: self.stats.bytes.load(Ordering::Relaxed),
+            inter_node_messages: self.stats.inter_node_messages.load(Ordering::Relaxed),
+            inter_node_bytes: self.stats.inter_node_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Computes the delivery deadline for a message and advances the
+    /// `busy_until` marks of every resource it occupies.
+    fn schedule(&self, idx: usize, from: ExecutorId, to: ExecutorId, bytes: usize) -> Instant {
+        let now = Instant::now();
+        let same_node = self.node_of[from.index()] == self.node_of[to.index()];
+        let link = self.profile.link(same_node);
+        // Fully unshaped path (no link delay and no NIC cap): skip the
+        // bookkeeping entirely. NIC accounting must still run when only the
+        // link is unshaped.
+        if link.latency.is_zero()
+            && link.bandwidth.is_infinite()
+            && (same_node || self.profile.nic_bandwidth.is_infinite())
+        {
+            return now;
+        }
+
+        // Per-stream service at single-stream bandwidth.
+        let stream_bw =
+            link.bandwidth.min(self.profile.per_channel_bandwidth) * self.kind.single_stream_efficiency();
+        let stream_time = if stream_bw.is_infinite() || bytes == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / stream_bw)
+        };
+        let stream_done = {
+            let mut busy = self.stream_busy[idx].lock();
+            let start = (*busy).max(now);
+            let done = start + stream_time;
+            *busy = done;
+            done
+        };
+
+        // Inter-node messages additionally serialize through the source
+        // node's egress NIC and the destination node's ingress NIC. The
+        // ingress mark is what turns all-executors-to-driver fan-in into the
+        // bottleneck the paper measures for tree aggregation.
+        let done = if !same_node && self.profile.nic_bandwidth.is_finite() {
+            let nic_time = Duration::from_secs_f64(bytes as f64 / self.profile.nic_bandwidth);
+            let egress_done = {
+                let mut busy = self.nic_busy[self.node_of[from.index()]].lock();
+                let start = (*busy).max(now);
+                let done = start + nic_time;
+                *busy = done;
+                done
+            };
+            let ingress_done = {
+                let mut busy = self.nic_in_busy[self.node_of[to.index()]].lock();
+                let start = (*busy).max(now.max(egress_done - nic_time));
+                let done = start + nic_time;
+                *busy = done;
+                done
+            };
+            stream_done.max(egress_done).max(ingress_done)
+        } else {
+            stream_done
+        };
+
+        done + link.latency + self.kind.software_overhead().mul_f64(self.profile.time_scale)
+    }
+}
+
+impl Transport for MeshTransport {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: Bytes) -> NetResult<()> {
+        let idx = self.idx(from, to, channel)?;
+        let nbytes = msg.len();
+        let deliver_at = self.schedule(idx, from, to, nbytes);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(nbytes as u64, Ordering::Relaxed);
+        if self.node_of[from.index()] != self.node_of[to.index()] {
+            self.stats.inter_node_messages.fetch_add(1, Ordering::Relaxed);
+            self.stats.inter_node_bytes.fetch_add(nbytes as u64, Ordering::Relaxed);
+        }
+        self.tx[idx]
+            .send(InFlight { deliver_at, payload: msg })
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<Bytes> {
+        let idx = self.idx(from, at, channel)?;
+        let m = self.rx[idx].recv().map_err(|_| NetError::Disconnected)?;
+        wait_until(m.deliver_at);
+        Ok(m.payload)
+    }
+
+    fn recv_timeout(
+        &self,
+        at: ExecutorId,
+        from: ExecutorId,
+        channel: usize,
+        timeout: Duration,
+    ) -> NetResult<Bytes> {
+        let idx = self.idx(from, at, channel)?;
+        let m = self.rx[idx].recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })?;
+        wait_until(m.deliver_at);
+        Ok(m.payload)
+    }
+}
+
+/// A transport bound to one executor: the view collective algorithms use.
+#[derive(Clone)]
+pub struct Endpoint {
+    net: Arc<dyn Transport>,
+    me: ExecutorId,
+}
+
+impl Endpoint {
+    pub fn new(net: Arc<dyn Transport>, me: ExecutorId) -> Self {
+        Self { net, me }
+    }
+
+    pub fn id(&self) -> ExecutorId {
+        self.me
+    }
+
+    pub fn channels(&self) -> usize {
+        self.net.channels()
+    }
+
+    pub fn send(&self, to: ExecutorId, channel: usize, msg: Bytes) -> NetResult<()> {
+        self.net.send(self.me, to, channel, msg)
+    }
+
+    pub fn recv(&self, from: ExecutorId, channel: usize) -> NetResult<Bytes> {
+        self.net.recv(self.me, from, channel)
+    }
+
+    pub fn recv_timeout(
+        &self,
+        from: ExecutorId,
+        channel: usize,
+        timeout: Duration,
+    ) -> NetResult<Bytes> {
+        self.net.recv_timeout(self.me, from, channel, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::LinkProfile;
+    use crate::topology::round_robin_layout;
+
+    fn two_execs() -> Vec<ExecutorInfo> {
+        round_robin_layout(2, 1, 1)
+    }
+
+    #[test]
+    fn unshaped_send_recv_roundtrip() {
+        let execs = two_execs();
+        let net = MeshTransport::unshaped(&execs, 2);
+        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"hello"))
+            .unwrap();
+        let got = net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+        assert_eq!(&got[..], b"hello");
+    }
+
+    #[test]
+    fn channels_are_independent_fifos() {
+        let execs = two_execs();
+        let net = MeshTransport::unshaped(&execs, 2);
+        net.send(ExecutorId(0), ExecutorId(1), 1, Bytes::from_static(b"ch1"))
+            .unwrap();
+        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"ch0-a"))
+            .unwrap();
+        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"ch0-b"))
+            .unwrap();
+        assert_eq!(&net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()[..], b"ch0-a");
+        assert_eq!(&net.recv(ExecutorId(1), ExecutorId(0), 1).unwrap()[..], b"ch1");
+        assert_eq!(&net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()[..], b"ch0-b");
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let execs = two_execs();
+        let net = MeshTransport::unshaped(&execs, 1);
+        assert!(matches!(
+            net.send(ExecutorId(0), ExecutorId(5), 0, Bytes::new()),
+            Err(NetError::InvalidAddress(_))
+        ));
+        assert!(matches!(
+            net.recv_timeout(ExecutorId(0), ExecutorId(1), 3, Duration::from_millis(1)),
+            Err(NetError::InvalidAddress(_))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_expires_when_no_message() {
+        let execs = two_execs();
+        let net = MeshTransport::unshaped(&execs, 1);
+        let err = net
+            .recv_timeout(ExecutorId(1), ExecutorId(0), 0, Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn latency_is_enforced() {
+        let mut profile = NetProfile::unshaped();
+        profile.inter_node = LinkProfile {
+            latency: Duration::from_millis(3),
+            bandwidth: f64::INFINITY,
+        };
+        let execs = two_execs();
+        let net = MeshTransport::new(&execs, 1, profile, TransportKind::MpiRef);
+        let start = Instant::now();
+        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"x"))
+            .unwrap();
+        net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(3), "latency skipped: {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(30), "latency overshot: {elapsed:?}");
+    }
+
+    #[test]
+    fn bandwidth_serializes_messages_on_one_stream() {
+        // 1 MB/s, two 10 KB messages back to back => ~20 ms total.
+        let mut profile = NetProfile::unshaped();
+        profile.inter_node = LinkProfile { latency: Duration::ZERO, bandwidth: 1e6 };
+        profile.per_channel_bandwidth = 1e6;
+        let execs = two_execs();
+        let net = MeshTransport::new(&execs, 1, profile, TransportKind::MpiRef);
+        let start = Instant::now();
+        let payload = Bytes::from(vec![0u8; 10_000]);
+        net.send(ExecutorId(0), ExecutorId(1), 0, payload.clone()).unwrap();
+        net.send(ExecutorId(0), ExecutorId(1), 0, payload).unwrap();
+        net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+        net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(20), "bandwidth not enforced: {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(60), "overshot: {elapsed:?}");
+    }
+
+    #[test]
+    fn intra_node_is_not_nic_limited() {
+        // Same node: NIC mark must not advance.
+        let mut profile = NetProfile::unshaped();
+        profile.nic_bandwidth = 1.0; // absurdly slow NIC
+        profile.intra_node = LinkProfile { latency: Duration::ZERO, bandwidth: f64::INFINITY };
+        let execs = round_robin_layout(1, 2, 1); // both executors on node 0
+        let net = MeshTransport::new(&execs, 1, profile, TransportKind::MpiRef);
+        let start = Instant::now();
+        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from(vec![0u8; 1 << 20]))
+            .unwrap();
+        net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn driver_ingress_fan_in_serializes() {
+        // Many nodes sending to one node simultaneously: the receiver's
+        // ingress NIC serializes the flows even though every sender has its
+        // own egress NIC — the physical root of the tree-aggregation driver
+        // bottleneck.
+        let mut profile = NetProfile::unshaped();
+        profile.inter_node = LinkProfile { latency: Duration::ZERO, bandwidth: f64::INFINITY };
+        profile.per_channel_bandwidth = f64::INFINITY;
+        profile.nic_bandwidth = 1e6; // 1 MB/s NICs
+        let execs = round_robin_layout(5, 1, 1); // 5 nodes, 1 executor each
+        let net = MeshTransport::new(&execs, 1, profile, TransportKind::MpiRef);
+        let start = Instant::now();
+        // Executors 1..4 all send 10 KB to executor 0 (node 0).
+        for src in 1..5u32 {
+            net.send(ExecutorId(src), ExecutorId(0), 0, Bytes::from(vec![0u8; 10_000]))
+                .unwrap();
+        }
+        for src in 1..5u32 {
+            net.recv(ExecutorId(0), ExecutorId(src), 0).unwrap();
+        }
+        let elapsed = start.elapsed();
+        // 4 x 10 KB through a 1 MB/s ingress NIC = 40 ms serialized.
+        assert!(elapsed >= Duration::from_millis(40), "ingress not serialized: {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(120), "overshot: {elapsed:?}");
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let execs = round_robin_layout(2, 2, 1); // 4 executors, 2 nodes round-robin
+        let net = MeshTransport::unshaped(&execs, 1);
+        // exec0 (node0) -> exec2 (node0): intra. exec0 -> exec1 (node1): inter.
+        net.send(ExecutorId(0), ExecutorId(2), 0, Bytes::from(vec![0; 10])).unwrap();
+        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from(vec![0; 7])).unwrap();
+        let s = net.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 17);
+        assert_eq!(s.inter_node_messages, 1);
+        assert_eq!(s.inter_node_bytes, 7);
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let execs = two_execs();
+        let net = MeshTransport::unshaped(&execs, 1);
+        let net2 = net.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                let m = net2.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+                net2.send(ExecutorId(1), ExecutorId(0), 0, m).unwrap();
+            }
+        });
+        for i in 0..100u32 {
+            net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+            let back = net.recv(ExecutorId(0), ExecutorId(1), 0).unwrap();
+            assert_eq!(u32::from_le_bytes(back[..].try_into().unwrap()), i);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn endpoint_binds_identity() {
+        let execs = two_execs();
+        let net = MeshTransport::unshaped(&execs, 1);
+        let a = Endpoint::new(net.clone(), ExecutorId(0));
+        let b = Endpoint::new(net, ExecutorId(1));
+        a.send(b.id(), 0, Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(&b.recv(a.id(), 0).unwrap()[..], b"ping");
+        assert_eq!(a.id(), ExecutorId(0));
+        assert_eq!(a.channels(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: the codec must never panic on hostile input.
+//!
+//! Frames arrive from other executors; a malformed frame (truncation, bad
+//! tags, absurd length prefixes) must surface as `NetError::Codec`, never a
+//! panic or an attempted huge allocation.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use sparker_net::codec::{Decoder, F64Array, Payload};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let frame = Bytes::from(data);
+        // Every decoder entry point: Err is fine, panic is not.
+        let _ = u32::from_frame(frame.clone());
+        let _ = u64::from_frame(frame.clone());
+        let _ = f64::from_frame(frame.clone());
+        let _ = String::from_frame(frame.clone());
+        let _ = F64Array::from_frame(frame.clone());
+        let _ = Option::<u64>::from_frame(frame.clone());
+        let _ = Vec::<u64>::from_frame(frame.clone());
+        let _ = Vec::<(u32, f64)>::from_frame(frame.clone());
+        let _ = <(String, Vec<f64>)>::from_frame(frame.clone());
+        let mut dec = Decoder::new(frame);
+        let _ = dec.get_bytes();
+        let _ = dec.get_u32_vec();
+        let _ = dec.get_u64_vec();
+        let _ = dec.get_f64_vec();
+    }
+
+    #[test]
+    fn truncated_valid_frames_error_cleanly(
+        values in proptest::collection::vec(any::<f64>(), 1..50),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let full = F64Array(values).to_frame();
+        let cut = ((full.len() as f64) * cut_fraction) as usize;
+        if cut < full.len() {
+            let truncated = full.slice(0..cut);
+            prop_assert!(F64Array::from_frame(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn frames_with_trailing_garbage_are_rejected(
+        value in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let mut bytes = value.to_frame().to_vec();
+        bytes.extend(garbage);
+        prop_assert!(u64::from_frame(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn length_prefix_larger_than_frame_is_rejected(len in 9u64..u64::MAX) {
+        // A frame claiming `len` elements but containing none.
+        let mut enc = sparker_net::codec::Encoder::new();
+        enc.put_u64(len);
+        let frame = enc.finish();
+        prop_assert!(F64Array::from_frame(frame.clone()).is_err());
+        prop_assert!(Vec::<u64>::from_frame(frame).is_err());
+    }
+}

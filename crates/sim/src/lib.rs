@@ -1,0 +1,34 @@
+//! # sparker-sim
+//!
+//! A discrete-event simulator of the paper's two clusters, used where the
+//! real (threaded, in-process) engine cannot go: 10 nodes × 96 cores,
+//! 256 MB aggregators, 120-executor rings. The threaded engine and this
+//! simulator consume the **same** network profiles and the same algorithm
+//! step structure, so shapes agree between backends (an ablation bench
+//! checks this); the simulator simply replaces wall-clock waiting with
+//! virtual time.
+//!
+//! Architecture:
+//!
+//! * [`des`] — the event engine: ops with dependencies, multi-slot core
+//!   pools, serial NIC/stream resources, earliest-ready-first scheduling.
+//! * [`cluster`] — Table 1 as a simulation config (BIC / AWS presets).
+//! * [`aggsim`] — op-graph builders for the three aggregation strategies
+//!   (Tree, Tree+IMM, Split) and the reduce-scatter primitive; produces the
+//!   paper's compute/reduce decomposition.
+//! * [`p2p`] — closed-form point-to-point latency/throughput model
+//!   (Figures 12–13).
+//! * [`mlrun`] — end-to-end training-loop model for the nine Table 2 × 3
+//!   workloads (Figures 1–4, 17, 18).
+
+pub mod aggsim;
+pub mod cluster;
+pub mod des;
+pub mod mlrun;
+pub mod p2p;
+pub mod workloads;
+
+pub use aggsim::{simulate_aggregation, AggSimResult, Strategy};
+pub use cluster::SimCluster;
+pub use mlrun::{simulate_training, TrainingBreakdown};
+pub use workloads::{Workload, WorkloadKind};

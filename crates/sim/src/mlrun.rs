@@ -1,0 +1,199 @@
+//! End-to-end training simulation (Figures 1–4, 17, 18).
+//!
+//! One training run = `iterations ×` (broadcast → compute+aggregate →
+//! driver update), decomposed the way the paper decomposes its stacked
+//! bars:
+//!
+//! * **Driver** — non-scalable driver work: task scheduling (per task!),
+//!   stage bookkeeping, and the model update. Grows with core count, which
+//!   is why the paper's Figure 18 shows the driver becoming the *next*
+//!   bottleneck once Sparker removes reduction.
+//! * **Non-agg** — scalable work outside aggregation: broadcasting the
+//!   model to executors, input iteration overheads.
+//! * **Agg-compute** — the first stage of the aggregation (gradient /
+//!   sufficient-statistics computation).
+//! * **Agg-reduce** — everything between compute-stage completion and the
+//!   driver holding the reduced aggregator.
+
+use crate::aggsim::{simulate_aggregation, Strategy};
+use crate::cluster::SimCluster;
+use crate::workloads::Workload;
+
+/// The paper's four-way time decomposition, in seconds (whole run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingBreakdown {
+    pub driver: f64,
+    pub non_agg: f64,
+    pub agg_compute: f64,
+    pub agg_reduce: f64,
+}
+
+impl TrainingBreakdown {
+    pub fn total(&self) -> f64 {
+        self.driver + self.non_agg + self.agg_compute + self.agg_reduce
+    }
+
+    /// Aggregation share of end-to-end time (Figure 2's stat).
+    pub fn agg_fraction(&self) -> f64 {
+        (self.agg_compute + self.agg_reduce) / self.total()
+    }
+}
+
+/// Partitions per stage: Spark convention of 2 tasks per core slot.
+pub fn default_partitions(cluster: &SimCluster) -> usize {
+    2 * cluster.total_cores()
+}
+
+/// Simulates a full training run of `workload` on `cluster` with the given
+/// aggregation strategy; `iterations` overrides the per-cluster default
+/// when `Some`.
+pub fn simulate_training(
+    cluster: &SimCluster,
+    workload: &Workload,
+    strategy: Strategy,
+    iterations: Option<usize>,
+) -> TrainingBreakdown {
+    let iters = iterations.unwrap_or_else(|| workload.iterations(cluster.name)) as f64;
+    let partitions = default_partitions(cluster);
+    let per_partition_secs =
+        workload.samples as f64 * workload.per_sample_cost() / partitions as f64;
+
+    // One aggregation, simulated through the DES.
+    let agg = simulate_aggregation(
+        cluster,
+        strategy,
+        workload.agg_bytes(),
+        partitions,
+        per_partition_secs,
+    );
+
+    // Driver: schedule every task of the compute stage, run stage
+    // bookkeeping, apply the model update. With the allreduce extension the
+    // update runs on the executors (the value is resident there), so the
+    // driver keeps only the scheduling work.
+    let allreduce = matches!(strategy, Strategy::SplitAllReduce { .. });
+    let stages = 3.0;
+    let mut driver_per_iter =
+        cluster.driver_per_task * partitions as f64 + cluster.driver_per_stage * stages;
+    if !allreduce {
+        driver_per_iter += workload.agg_bytes() / cluster.merge_bandwidth;
+    }
+
+    // Non-agg: torrent broadcast of the model (driver uploads ~2 copies at
+    // NIC rate, then nodes exchange in parallel) plus fixed per-iteration
+    // overhead. The allreduce extension keeps the model resident on the
+    // executors, so no broadcast happens at all.
+    let bcast = if allreduce { 0.0 } else { workload.broadcast_bytes() };
+    let non_agg_per_iter = 2.0 * bcast / cluster.profile.nic_bandwidth
+        + (cluster.nodes as f64).log2().max(1.0)
+            * cluster.profile.inter_node.latency.as_secs_f64()
+        + 0.05;
+
+    TrainingBreakdown {
+        driver: iters * driver_per_iter,
+        non_agg: iters * non_agg_per_iter,
+        agg_compute: iters * agg.compute,
+        agg_reduce: iters * agg.reduce,
+    }
+}
+
+/// Geometric mean helper used by the figure harnesses.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{all_workloads, by_name};
+
+    fn bic(nodes: usize) -> SimCluster {
+        SimCluster::bic().with_nodes(nodes)
+    }
+
+    #[test]
+    fn figure1_shape_mllib_scales_poorly() {
+        // 8-node vs 1-node speedups under vanilla tree aggregation.
+        let mut speedups = Vec::new();
+        for w in all_workloads() {
+            let t1 = simulate_training(&bic(1), &w, Strategy::Tree, None).total();
+            let t8 = simulate_training(&bic(8), &w, Strategy::Tree, None).total();
+            speedups.push((w.name, t1 / t8));
+        }
+        let gm = geo_mean(&speedups.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        // Paper: geo-mean 1.25x, best 2.49x (LDA-N), worst 0.73x (LR-K).
+        assert!((0.8..2.2).contains(&gm), "geo-mean speedup {gm:.2} (paper 1.25)");
+        let lrk = speedups.iter().find(|(n, _)| *n == "LR-K").unwrap().1;
+        assert!(lrk < 1.3, "LR-K must barely scale (paper 0.73x): {lrk:.2}");
+        let ldan = speedups.iter().find(|(n, _)| *n == "LDA-N").unwrap().1;
+        assert!(ldan > lrk, "LDA-N (2.49x) scales better than LR-K (0.73x)");
+        for (name, s) in &speedups {
+            assert!(*s < 6.0, "{name} speedup {s:.2} suspiciously close to perfect");
+        }
+    }
+
+    #[test]
+    fn figure2_shape_aggregation_dominates() {
+        // Paper: tree aggregation is ~67% (geo-mean) of end-to-end time on
+        // 8-node BIC.
+        let fracs: Vec<f64> = all_workloads()
+            .iter()
+            .map(|w| simulate_training(&bic(8), w, Strategy::Tree, None).agg_fraction())
+            .collect();
+        let gm = geo_mean(&fracs);
+        assert!((0.45..0.9).contains(&gm), "agg share {gm:.2} (paper 0.67)");
+    }
+
+    #[test]
+    fn figure3_shape_compute_scales_reduce_does_not() {
+        let w = by_name("LDA-N").unwrap();
+        let one = simulate_training(&bic(1), &w, Strategy::Tree, Some(40));
+        let eight = simulate_training(&bic(8), &w, Strategy::Tree, Some(40));
+        let compute_speedup = one.agg_compute / eight.agg_compute;
+        assert!(compute_speedup > 3.0, "compute speedup {compute_speedup:.2} (paper 4.47)");
+        assert!(
+            eight.agg_reduce > one.agg_reduce,
+            "reduce must anti-scale: {:.1}s -> {:.1}s (paper 111s -> 187s)",
+            one.agg_reduce,
+            eight.agg_reduce
+        );
+    }
+
+    #[test]
+    fn figure17_shape_sparker_speedups() {
+        // End-to-end Sparker vs Spark on BIC: geo-mean 1.60x in the paper.
+        let split = Strategy::Split { parallelism: 4, topology_aware: true };
+        let mut speedups = Vec::new();
+        for w in all_workloads() {
+            let spark = simulate_training(&bic(8), &w, Strategy::Tree, None).total();
+            let sparker = simulate_training(&bic(8), &w, split, None).total();
+            speedups.push(spark / sparker);
+        }
+        let gm = geo_mean(&speedups);
+        assert!((1.2..2.6).contains(&gm), "geo-mean {gm:.2} (paper 1.60)");
+        assert!(speedups.iter().all(|&s| s > 0.9), "Sparker should never lose: {speedups:?}");
+    }
+
+    #[test]
+    fn figure18_shape_driver_becomes_the_new_bottleneck() {
+        let w = by_name("LDA-N").unwrap();
+        let split = Strategy::Split { parallelism: 4, topology_aware: true };
+        let aws = SimCluster::aws();
+        let big = simulate_training(&aws, &w, split, Some(15));
+        // With reduction fixed, driver time should rival or exceed reduce.
+        assert!(
+            big.driver > big.agg_reduce,
+            "driver {:.1}s should dominate reduce {:.1}s at 960 cores",
+            big.driver,
+            big.agg_reduce
+        );
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Point-to-point latency/throughput model (Figures 12–13).
+//!
+//! Closed-form: the transports differ only in software overhead and
+//! single-stream efficiency (see [`TransportKind`]), and throughput with
+//! `P` parallel channels is `min(P × per_channel, NIC)`.
+
+use sparker_net::profile::TransportKind;
+
+use crate::cluster::SimCluster;
+
+/// One-way small-message latency of `kind` on this cluster, in seconds.
+pub fn latency(cluster: &SimCluster, kind: TransportKind) -> f64 {
+    cluster.profile.one_way_latency(kind).as_secs_f64()
+}
+
+/// Streaming throughput (bytes/sec) for messages of `msg_bytes` over
+/// `channels` parallel streams.
+///
+/// Per message the sender pays the software overhead once; large messages
+/// amortize it, small ones don't — reproducing Figure 13's rise with
+/// message size.
+pub fn throughput(
+    cluster: &SimCluster,
+    kind: TransportKind,
+    msg_bytes: f64,
+    channels: usize,
+) -> f64 {
+    let bw = match kind {
+        TransportKind::MpiRef => cluster.profile.mpi_bandwidth,
+        _ => cluster.profile.parallel_bandwidth(kind, channels),
+    };
+    let per_msg_overhead = kind.software_overhead().as_secs_f64() / channels.max(1) as f64
+        + cluster.profile.inter_node.latency.as_secs_f64() / 8.0; // pipelined
+    let t = msg_bytes / bw + per_msg_overhead;
+    msg_bytes / t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_hierarchy_matches_figure_12() {
+        let c = SimCluster::bic();
+        let mpi = latency(&c, TransportKind::MpiRef);
+        let sc = latency(&c, TransportKind::ScalableComm);
+        let bm = latency(&c, TransportKind::BlockManager);
+        // Paper: 15.94us / 72.73us / 3861.25us.
+        assert!((mpi * 1e6 - 16.0).abs() < 2.0, "mpi {mpi}");
+        assert!((sc * 1e6 - 73.0).abs() < 8.0, "sc {sc}");
+        assert!((bm * 1e6 - 3861.0).abs() < 150.0, "bm {bm}");
+    }
+
+    #[test]
+    fn throughput_rises_with_message_size() {
+        let c = SimCluster::bic();
+        let small = throughput(&c, TransportKind::ScalableComm, 1024.0, 4);
+        let large = throughput(&c, TransportKind::ScalableComm, 64.0 * 1024.0 * 1024.0, 4);
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn four_channels_approach_line_rate() {
+        let c = SimCluster::bic();
+        let msg = 64.0 * 1024.0 * 1024.0;
+        let one = throughput(&c, TransportKind::ScalableComm, msg, 1);
+        let four = throughput(&c, TransportKind::ScalableComm, msg, 4);
+        let mpi = throughput(&c, TransportKind::MpiRef, msg, 1);
+        assert!(four > 2.5 * one, "channels must scale throughput");
+        // Paper: SC reaches 97% of MPI's 1185 MB/s.
+        assert!(four / mpi > 0.90, "sc {four} vs mpi {mpi}");
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's nine workloads (Table 2 × Table 3) as simulation inputs.
+//!
+//! Per-sample compute costs are calibrated against the paper's one anchor
+//! with absolute numbers: LDA-N on BIC takes 1152 s of compute at 24 cores
+//! over 40 iterations (Figure 3) → ≈ 2.3 core-ms per document per
+//! iteration, i.e. ≈ 20 ns per (inner-iteration × word × topic) operation —
+//! a plausible JVM floating-point cost. GLM costs use 50 ns per non-zero
+//! (sparse unboxing + FMA in MLlib's axpy path).
+
+/// Model family of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Gradient-descent GLM (LR or SVM — same aggregation structure).
+    Glm,
+    /// LDA topic model (sufficient-statistics aggregation).
+    Lda,
+}
+
+/// One (model, dataset) pair of the evaluation.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Paper's label ("LR-K", "LDA-N", …).
+    pub name: &'static str,
+    pub kind: WorkloadKind,
+    /// Samples (GLM) or documents (LDA).
+    pub samples: u64,
+    /// Feature dimension (GLM) or vocabulary (LDA).
+    pub features: u64,
+    /// Non-zeros per sample / words per document.
+    pub nnz: u64,
+    /// Topics (LDA only).
+    pub topics: u64,
+    /// Training iterations on BIC (Figure 1/2/17 use these).
+    pub iterations_bic: usize,
+    /// Training iterations on AWS (the paper shortened LDA-N to 15).
+    pub iterations_aws: usize,
+}
+
+/// LDA E-step inner iterations (matches `sparker_ml::lda` default).
+pub const LDA_INNER_ITERS: f64 = 5.0;
+/// Calibrated per-op costs (seconds).
+pub const LDA_OP_COST: f64 = 20e-9;
+pub const GLM_NNZ_COST: f64 = 50e-9;
+
+impl Workload {
+    /// Aggregator payload in bytes: gradient+scalars for GLMs, K×V
+    /// sufficient statistics (+ totals) for LDA.
+    pub fn agg_bytes(&self) -> f64 {
+        match self.kind {
+            WorkloadKind::Glm => (self.features + 2) as f64 * 8.0,
+            WorkloadKind::Lda => (self.topics * self.features + self.topics) as f64 * 8.0,
+        }
+    }
+
+    /// Broadcast payload per iteration (weights / topic matrix).
+    pub fn broadcast_bytes(&self) -> f64 {
+        match self.kind {
+            WorkloadKind::Glm => self.features as f64 * 8.0,
+            WorkloadKind::Lda => (self.topics * self.features) as f64 * 8.0,
+        }
+    }
+
+    /// Compute cost of one sample for one iteration, in seconds.
+    pub fn per_sample_cost(&self) -> f64 {
+        match self.kind {
+            WorkloadKind::Glm => self.nnz as f64 * GLM_NNZ_COST,
+            WorkloadKind::Lda => {
+                LDA_INNER_ITERS * self.nnz as f64 * self.topics as f64 * LDA_OP_COST
+            }
+        }
+    }
+
+    pub fn iterations(&self, cluster_name: &str) -> usize {
+        if cluster_name == "aws" {
+            self.iterations_aws
+        } else {
+            self.iterations_bic
+        }
+    }
+}
+
+fn glm(name: &'static str, samples: u64, features: u64, nnz: u64) -> Workload {
+    Workload {
+        name,
+        kind: WorkloadKind::Glm,
+        samples,
+        features,
+        nnz,
+        topics: 0,
+        iterations_bic: 100,
+        iterations_aws: 100,
+    }
+}
+
+/// All nine workloads in the paper's Figure 1/17 order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "LDA-E",
+            kind: WorkloadKind::Lda,
+            samples: 39_861,
+            features: 28_102,
+            nnz: 160,
+            topics: 100,
+            iterations_bic: 40,
+            iterations_aws: 15,
+        },
+        Workload {
+            name: "LDA-N",
+            kind: WorkloadKind::Lda,
+            samples: 300_000,
+            features: 102_660,
+            nnz: 230,
+            topics: 100,
+            iterations_bic: 40,
+            iterations_aws: 15,
+        },
+        glm("LR-A", 45_006_431, 1_000_000, 15),
+        glm("LR-C", 51_882_752, 1_000_000, 39),
+        glm("LR-K", 8_918_054, 20_216_830, 30),
+        glm("SVM-A", 45_006_431, 1_000_000, 15),
+        glm("SVM-C", 51_882_752, 1_000_000, 39),
+        glm("SVM-K", 8_918_054, 20_216_830, 30),
+        glm("SVM-K12", 149_639_105, 54_686_452, 11),
+    ]
+}
+
+/// Looks a workload up by its paper label.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_workloads_in_paper_order() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 9);
+        assert_eq!(ws[1].name, "LDA-N");
+        assert_eq!(ws.last().unwrap().name, "SVM-K12");
+    }
+
+    #[test]
+    fn aggregator_sizes_match_paper_arithmetic() {
+        let mb = 1024.0 * 1024.0;
+        let ldan = by_name("LDA-N").unwrap();
+        assert!((78.0..79.0).contains(&(ldan.agg_bytes() / mb)), "LDA-N ~78 MiB");
+        let lrk = by_name("LR-K").unwrap();
+        assert!((154.0..155.0).contains(&(lrk.agg_bytes() / mb)), "LR-K ~154 MiB");
+        let k12 = by_name("SVM-K12").unwrap();
+        assert!((417.0..418.0).contains(&(k12.agg_bytes() / mb)), "SVM-K12 ~417 MiB");
+    }
+
+    #[test]
+    fn lda_n_compute_calibration_anchor() {
+        // Paper Figure 3: 1152s of compute at 24 cores over 40 iterations.
+        let w = by_name("LDA-N").unwrap();
+        let per_iter_core_secs = w.samples as f64 * w.per_sample_cost();
+        let wall_at_24_cores = per_iter_core_secs * 40.0 / 24.0;
+        assert!(
+            (900.0..1400.0).contains(&wall_at_24_cores),
+            "calibration drifted: {wall_at_24_cores:.0}s vs paper 1152s"
+        );
+    }
+
+    #[test]
+    fn reduction_heavy_workloads_have_big_aggregators() {
+        // The paper: LDA-N, LR-K, SVM-K, SVM-K12 speed up >2x on AWS because
+        // their aggregators are large relative to compute.
+        let heavy = ["LDA-N", "LR-K", "SVM-K", "SVM-K12"];
+        let mb = 1024.0 * 1024.0;
+        for name in heavy {
+            let w = by_name(name).unwrap();
+            assert!(w.agg_bytes() / mb > 50.0, "{name}: {} MiB", w.agg_bytes() / mb);
+        }
+        // ...and the modest speedups (avazu/criteo) have small ones.
+        for name in ["LR-A", "SVM-C"] {
+            let w = by_name(name).unwrap();
+            assert!(w.agg_bytes() / mb < 10.0, "{name}: {} MiB", w.agg_bytes() / mb);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("LR-Z").is_none());
+    }
+}

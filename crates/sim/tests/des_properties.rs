@@ -1,0 +1,133 @@
+//! Property tests on the discrete-event engine: the invariants any valid
+//! schedule must satisfy, for randomly generated op DAGs.
+
+use proptest::prelude::*;
+
+use sparker_sim::des::{DesParams, OpGraph, OpKind};
+
+fn params(executors: usize, cores: usize) -> DesParams {
+    DesParams {
+        executors,
+        cores_per_executor: cores,
+        node_of_executor: (0..executors).map(|e| e % 2).collect(),
+        nodes: 2,
+        stream_bandwidth: 1000.0,
+        nic_bandwidth: 2000.0,
+        intra_bandwidth: 10_000.0,
+        latency: 0.01,
+        intra_latency: 0.001,
+    }
+}
+
+/// Builds a random DAG: op i depends on a random subset of earlier ops.
+fn random_graph(
+    executors: usize,
+    kinds: &[(u8, f64)], // (kind selector, magnitude)
+    deps: &[Vec<usize>],
+) -> OpGraph {
+    let mut g = OpGraph::new();
+    for (i, &(kind, mag)) in kinds.iter().enumerate() {
+        let dep_ids: Vec<usize> = deps[i].iter().copied().filter(|&d| d < i).collect();
+        match kind % 4 {
+            0 => {
+                g.compute(i % executors, mag.abs() % 2.0, dep_ids);
+            }
+            1 => {
+                g.xfer(i % executors, (i + 1) % executors, 0, (mag.abs() % 1e4) + 1.0, dep_ids);
+            }
+            2 => {
+                g.driver(mag.abs() % 0.5, dep_ids);
+            }
+            _ => {
+                g.barrier(dep_ids);
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn finish_times_respect_dependencies(
+        kinds in proptest::collection::vec((any::<u8>(), any::<f64>()), 1..40),
+        raw_deps in proptest::collection::vec(proptest::collection::vec(0usize..40, 0..4), 40),
+    ) {
+        let g = random_graph(3, &kinds, &raw_deps);
+        let r = g.run(&params(3, 2));
+        for (id, op) in g.ops.iter().enumerate() {
+            for &d in &op.deps {
+                prop_assert!(
+                    r.finish[id] >= r.finish[d] - 1e-12,
+                    "op {id} finished before its dependency {d}"
+                );
+            }
+            prop_assert!(r.finish[id].is_finite());
+            prop_assert!(r.finish[id] >= 0.0);
+        }
+        prop_assert!((r.makespan - r.finish.iter().copied().fold(0.0, f64::max)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_cores_never_slow_compute_down(
+        durations in proptest::collection::vec(0.01f64..1.0, 1..20),
+    ) {
+        let build = || {
+            let mut g = OpGraph::new();
+            for (i, &d) in durations.iter().enumerate() {
+                g.compute(i % 2, d, vec![]);
+            }
+            g
+        };
+        let slow = build().run(&params(2, 1)).makespan;
+        let fast = build().run(&params(2, 4)).makespan;
+        prop_assert!(fast <= slow + 1e-12, "more cores slowed things down: {slow} -> {fast}");
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_duration(
+        durations in proptest::collection::vec(0.01f64..1.0, 1..15),
+    ) {
+        // A pure chain: makespan must be >= the sum of durations.
+        let mut g = OpGraph::new();
+        let mut prev: Option<usize> = None;
+        let mut total = 0.0;
+        for &d in &durations {
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            prev = Some(g.compute(0, d, deps));
+            total += d;
+        }
+        let r = g.run(&params(1, 4));
+        prop_assert!(r.makespan >= total - 1e-9);
+        prop_assert!(r.makespan <= total + 1e-9, "chain has no contention: exact");
+    }
+
+    #[test]
+    fn delays_add_no_resource_contention(count in 1usize..50, secs in 0.001f64..0.5) {
+        // N parallel delays on no resources finish simultaneously.
+        let mut g = OpGraph::new();
+        for _ in 0..count {
+            g.delay(secs, vec![]);
+        }
+        let r = g.run(&params(1, 1));
+        prop_assert!((r.makespan - secs).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn delay_op_is_pure_latency() {
+    let mut g = OpGraph::new();
+    let a = g.compute(0, 1.0, vec![]);
+    let d = g.delay(0.5, vec![a]);
+    let b = g.compute(0, 1.0, vec![d]);
+    let r = g.run(&params(1, 1));
+    assert!((r.finish[b] - 2.5).abs() < 1e-12);
+}
+
+#[test]
+fn xfer_kinds_are_visible_in_graph() {
+    let mut g = OpGraph::new();
+    let x = g.xfer(0, 1, 0, 100.0, vec![]);
+    assert!(matches!(g.ops[x].kind, OpKind::Xfer { bytes, .. } if bytes == 100.0));
+}

@@ -1,0 +1,62 @@
+//! Fault tolerance live: the paper's §3.2 recovery semantics on a real run.
+//!
+//! ```bash
+//! cargo run --release --example fault_tolerance
+//! ```
+//!
+//! In-Memory Merge breaks RDD task independence: tasks on one executor
+//! share a mutable aggregator, so a failed task cannot simply be re-run —
+//! the shared value may already contain its siblings' merges. The paper's
+//! answer: clean up the executor state and resubmit the whole stage. This
+//! example injects faults into every stage kind of a split aggregation and
+//! shows both recovery paths producing the exact sequential answer.
+
+use sparker::prelude::*;
+
+fn run_with_fault(stage: Option<(&str, usize)>) -> (f64, u32) {
+    let cluster = LocalCluster::local(3, 2);
+    if let Some((label, task)) = stage {
+        cluster.fault_plan().fail_once(label, task);
+    }
+    let data = cluster.generate(6, |p| vec![(p + 1) as u64; 10]).cache();
+    data.count().expect("preload");
+    let (sum, metrics) = data
+        .split_aggregate(
+            0.0f64,
+            |acc, x| acc + *x as f64,
+            |a, b| *a += b,
+            |u, i, _n| if i == 0 { *u } else { 0.0 },
+            |a, b| *a += b,
+            |segs| segs.into_iter().sum::<f64>(),
+            SplitAggOpts::default(),
+        )
+        .expect("split aggregate");
+    (sum, metrics.task_attempts)
+}
+
+fn main() {
+    let expected = 10.0 * (1..=6).sum::<u64>() as f64;
+    println!("dataset: 6 partitions, exact sum = {expected}\n");
+
+    let (sum, attempts) = run_with_fault(None);
+    assert_eq!(sum, expected);
+    println!("clean run:                  sum {sum}, {attempts} task attempts");
+
+    // Fault in the IMM (reduced-result) stage: tasks share per-executor
+    // state, so the driver clears it and resubmits the whole stage.
+    let (sum, attempts) = run_with_fault(Some(("split-imm-op1", 4)));
+    assert_eq!(sum, expected, "stage resubmission must not double-count");
+    println!("IMM-stage fault:            sum {sum}, {attempts} attempts (whole stage resubmitted)");
+
+    // Fault in the statically-scheduled ring stage: tasks are independent
+    // until they communicate, and an injected failure happens before the
+    // task joins the ring — so a single retry rejoins cleanly.
+    let (sum, attempts) = run_with_fault(Some(("split-ring-op1", 1)));
+    assert_eq!(sum, expected);
+    println!("ring-stage fault:           sum {sum}, {attempts} attempts (one task retried)");
+
+    println!(
+        "\nthe paper's argument (§3.2): ML iterations are short, so resubmitting a whole\n\
+         stage on rare failures costs little next to what IMM saves every iteration."
+    );
+}

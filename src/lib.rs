@@ -1,0 +1,1 @@
+//! Workspace umbrella crate: hosts cross-crate integration tests and examples.

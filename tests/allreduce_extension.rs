@@ -1,0 +1,102 @@
+//! Integration: the allreduce extension — reduced values stay resident on
+//! executors, the driver receives exactly one copy, and results match
+//! split aggregation bit-for-bit.
+
+use sparker::prelude::*;
+
+fn dataset(cluster: &LocalCluster) -> sparker::engine::dataset::Dataset<Vec<f64>> {
+    let dim = 256;
+    let data = cluster
+        .generate(8, move |p| vec![vec![(p * p) as f64; dim]; 1])
+        .cache();
+    data.count().unwrap();
+    data
+}
+
+fn seq(mut acc: F64Array, v: &Vec<f64>) -> F64Array {
+    for (a, x) in acc.0.iter_mut().zip(v) {
+        *a += *x;
+    }
+    acc
+}
+
+#[test]
+fn allreduce_matches_split_aggregate() {
+    let cluster = LocalCluster::local(4, 2);
+    let data = dataset(&cluster);
+    let dim = 256;
+    let (split_result, _) = data
+        .split_aggregate(
+            F64Array(vec![0.0; dim]),
+            seq,
+            sparker::dense::merge,
+            sparker::dense::split,
+            sparker::dense::merge_segments,
+            sparker::dense::concat,
+            SplitAggOpts::default(),
+        )
+        .unwrap();
+    let out = data
+        .allreduce_aggregate(
+            F64Array(vec![0.0; dim]),
+            seq,
+            sparker::dense::merge,
+            sparker::dense::split,
+            sparker::dense::merge_segments,
+            sparker::dense::concat,
+            None,
+        )
+        .unwrap();
+    assert_eq!(out.value.0, sparker::dense::to_vec(split_result));
+}
+
+#[test]
+fn every_executor_holds_the_reduced_value() {
+    let cluster = LocalCluster::local(3, 2);
+    let data = dataset(&cluster);
+    let dim = 256;
+    let out = data
+        .allreduce_aggregate(
+            F64Array(vec![0.0; dim]),
+            seq,
+            sparker::dense::merge,
+            sparker::dense::split,
+            sparker::dense::merge_segments,
+            sparker::dense::concat,
+            Some(2),
+        )
+        .unwrap();
+    for e in 0..3u32 {
+        // The resident copy has the segment type V (here SumSegment).
+        let copy = cluster
+            .executor_objects(sparker::net::topology::ExecutorId(e))
+            .with(executor_copy_slot(out.op), |v: &SumSegment| v.0.clone())
+            .expect("resident copy present");
+        assert_eq!(copy, out.value.0, "executor {e}");
+    }
+    // Driver traffic: exactly one aggregator.
+    let payload = (dim * 8) as u64;
+    assert!(out.metrics.bytes_to_driver >= payload && out.metrics.bytes_to_driver < payload + 64);
+}
+
+#[test]
+fn allreduce_survives_ring_stage_fault() {
+    let cluster = LocalCluster::local(3, 2);
+    // Op ids are deterministic: count() uses none, so the allreduce is op 1.
+    cluster.fault_plan().fail_once("allreduce-ring-op1", 2);
+    let data = dataset(&cluster);
+    let dim = 256;
+    let out = data
+        .allreduce_aggregate(
+            F64Array(vec![0.0; dim]),
+            seq,
+            sparker::dense::merge,
+            sparker::dense::split,
+            sparker::dense::merge_segments,
+            sparker::dense::concat,
+            Some(1),
+        )
+        .unwrap();
+    let want: f64 = (0..8).map(|p| (p * p) as f64).sum();
+    assert!(out.value.0.iter().all(|&v| v == want));
+}

@@ -1,0 +1,65 @@
+//! Integration: concurrent driver actions on one cluster.
+//!
+//! Result frames from different operations share the per-executor→driver
+//! streams, so the engine serializes actions behind a driver lock (as
+//! Spark's driver serializes result handling per job). Concurrent callers
+//! must all get correct answers, never each other's frames.
+
+use std::sync::Arc;
+
+use sparker::prelude::*;
+
+#[test]
+fn concurrent_aggregations_all_correct() {
+    let cluster = Arc::new(LocalCluster::local(3, 2));
+    let handles: Vec<_> = (0..6)
+        .map(|k| {
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let data = cluster.generate(5, move |p| vec![(p as u64 + 1) * (k + 1)]);
+                if k % 2 == 0 {
+                    let (sum, _) = data
+                        .tree_aggregate(0u64, |a, x| a + *x, |a, b| a + b, TreeAggOpts::default())
+                        .unwrap();
+                    (k, sum)
+                } else {
+                    let (sum, _) = data
+                        .split_aggregate(
+                            0u64,
+                            |a, x| a + *x,
+                            |a, b| *a += b,
+                            |u, i, _n| if i == 0 { *u } else { 0 },
+                            |a, b| *a += b,
+                            |segs| segs.into_iter().sum(),
+                            SplitAggOpts::default(),
+                        )
+                        .unwrap();
+                    (k, sum)
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let (k, sum) = h.join().unwrap();
+        assert_eq!(sum, 15 * (k + 1), "thread {k} got a wrong (stolen?) result");
+    }
+}
+
+#[test]
+fn concurrent_collects_do_not_mix_frames() {
+    let cluster = Arc::new(LocalCluster::local(2, 2));
+    let handles: Vec<_> = (0..4u64)
+        .map(|k| {
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let data = cluster.generate(3, move |p| vec![k * 100 + p as u64]);
+                let got = data.collect().unwrap();
+                (k, got)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (k, got) = h.join().unwrap();
+        assert_eq!(got, vec![k * 100, k * 100 + 1, k * 100 + 2]);
+    }
+}

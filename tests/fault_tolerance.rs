@@ -1,0 +1,103 @@
+//! Cross-crate integration: fault injection and the two recovery paths —
+//! per-task retry for ordinary stages, whole-stage resubmission for
+//! reduced-result (IMM) stages (paper §3.2).
+
+use sparker::prelude::*;
+
+fn sum_with_faults(cluster: &LocalCluster, strategy: &str) -> (f64, u32) {
+    let data = cluster.generate(6, |p| vec![(p + 1) as u64]).cache();
+    data.count().unwrap();
+    let seq = |acc: f64, v: &u64| acc + *v as f64;
+    match strategy {
+        "tree" | "tree+imm" => {
+            let (r, m) = data
+                .tree_aggregate(
+                    0.0f64,
+                    seq,
+                    |a, b| a + b,
+                    TreeAggOpts { depth: 2, imm: strategy == "tree+imm" },
+                )
+                .unwrap();
+            (r, m.task_attempts)
+        }
+        _ => {
+            let (r, m) = data
+                .split_aggregate(
+                    0.0f64,
+                    seq,
+                    |a, b| *a += b,
+                    |u, i, _n| if i == 0 { *u } else { 0.0 },
+                    |a, b| *a += b,
+                    |segs| segs.into_iter().sum(),
+                    SplitAggOpts::default(),
+                )
+                .unwrap();
+            (r, m.task_attempts)
+        }
+    }
+}
+
+const EXPECTED: f64 = 21.0; // 1+2+...+6
+
+#[test]
+fn tree_compute_fault_retries_single_task() {
+    let cluster = LocalCluster::local(3, 2);
+    // Engine op ids are deterministic per cluster: the first aggregation's
+    // compute stage is op 1 (count() runs no aggregation op).
+    cluster.fault_plan().fail_once("tree-compute-op1", 3);
+    let (sum, attempts) = sum_with_faults(&cluster, "tree");
+    assert_eq!(sum, EXPECTED);
+    // 6 partitions, scale 3 => one shuffle round (6 -> 2): 6 compute +
+    // 1 retry + 5 shuffle tasks (3 senders + 2 receivers) + 2 final.
+    assert_eq!(attempts, 14);
+}
+
+#[test]
+fn imm_compute_fault_resubmits_stage_without_double_count() {
+    let cluster = LocalCluster::local(3, 2);
+    cluster.fault_plan().fail_once("tree-compute-op1", 0);
+    let (sum, attempts) = sum_with_faults(&cluster, "tree+imm");
+    assert_eq!(sum, EXPECTED, "stage resubmission must not double-merge");
+    assert!(attempts >= 12, "all six compute tasks rerun: {attempts}");
+}
+
+#[test]
+fn split_imm_fault_resubmits_and_ring_still_completes() {
+    let cluster = LocalCluster::local(3, 2);
+    cluster.fault_plan().fail_once("split-imm-op1", 5);
+    let (sum, attempts) = sum_with_faults(&cluster, "split");
+    assert_eq!(sum, EXPECTED);
+    assert!(attempts > 6 + 3, "imm stage resubmitted: {attempts}");
+}
+
+#[test]
+fn ring_stage_fault_retries_that_executor_task() {
+    let cluster = LocalCluster::local(3, 2);
+    cluster.fault_plan().fail_once("split-ring-op1", 1);
+    let (sum, _) = sum_with_faults(&cluster, "split");
+    assert_eq!(sum, EXPECTED, "retried ring task must rejoin the ring");
+}
+
+#[test]
+fn repeated_faults_exhaust_retry_budget() {
+    let cluster = LocalCluster::local(2, 1);
+    for attempt in 0..8 {
+        cluster.fault_plan().fail_attempt("tree-compute-op1", 0, attempt);
+    }
+    let data = cluster.generate(2, |p| vec![p as u64]).cache();
+    data.count().unwrap();
+    let err = data
+        .tree_aggregate(0u64, |a, v| a + *v, |a, b| a + b, TreeAggOpts::default())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("failed after"), "{msg}");
+}
+
+#[test]
+fn multiple_faults_across_stages_still_converge() {
+    let cluster = LocalCluster::local(3, 2);
+    cluster.fault_plan().fail_once("split-imm-op1", 0);
+    cluster.fault_plan().fail_once("split-ring-op1", 2);
+    let (sum, _) = sum_with_faults(&cluster, "split");
+    assert_eq!(sum, EXPECTED);
+}

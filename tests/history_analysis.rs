@@ -1,0 +1,79 @@
+//! Integration: replaying the paper's §2.3 methodology — stage-level
+//! history analysis — against real engine executions.
+
+use sparker::ml::point::LabeledPoint;
+use sparker::prelude::*;
+
+fn train(cluster: &LocalCluster, mode: AggregationMode) {
+    let gen = sparker::data::profiles::avazu()
+        .feature_scaled(3.2e-5)
+        .classification_gen();
+    let parts = 4;
+    let data = cluster
+        .generate(parts, move |p| {
+            gen.partition(p, parts, 200).into_iter().map(LabeledPoint::from).collect()
+        })
+        .cache();
+    data.count().unwrap();
+    let lr = LogisticRegression { iterations: 3, ..Default::default() }.with_mode(mode);
+    lr.train(&data, 32).unwrap();
+}
+
+#[test]
+fn history_records_every_stage_kind_of_a_training_run() {
+    let cluster = LocalCluster::local(2, 2);
+    train(&cluster, AggregationMode::Tree);
+    let kinds: std::collections::HashSet<String> = cluster
+        .history()
+        .snapshot()
+        .iter()
+        .map(|e| e.kind().to_string())
+        .collect();
+    for expected in ["count", "broadcast", "tree-compute", "tree-final"] {
+        assert!(kinds.contains(expected), "missing stage kind {expected}: {kinds:?}");
+    }
+}
+
+#[test]
+fn split_mode_leaves_ring_stages_in_the_log() {
+    let cluster = LocalCluster::local(2, 2);
+    train(&cluster, AggregationMode::split());
+    let kinds: std::collections::HashSet<String> = cluster
+        .history()
+        .snapshot()
+        .iter()
+        .map(|e| e.kind().to_string())
+        .collect();
+    assert!(kinds.contains("split-imm"), "{kinds:?}");
+    assert!(kinds.contains("split-ring"), "{kinds:?}");
+    assert!(!kinds.contains("tree-compute"), "no tree stages under split mode");
+}
+
+#[test]
+fn aggregation_share_is_computable_like_figure_2() {
+    let cluster = LocalCluster::local(2, 2);
+    train(&cluster, AggregationMode::Tree);
+    let share = cluster.history().aggregation_share();
+    assert!(
+        (0.05..1.0).contains(&share),
+        "aggregation share {share} out of plausible range"
+    );
+    // Summary is non-empty and sorted by descending time.
+    let summary = cluster.history().summary();
+    assert!(!summary.is_empty());
+    for w in summary.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+}
+
+#[test]
+fn attempts_include_retries() {
+    let cluster = LocalCluster::local(2, 1);
+    cluster.fault_plan().fail_once("count", 0);
+    let data = cluster.generate(2, |p| vec![p as u64]);
+    data.count().unwrap();
+    let events = cluster.history().snapshot();
+    let count_stage = events.iter().find(|e| e.label == "count").unwrap();
+    assert_eq!(count_stage.tasks, 2);
+    assert_eq!(count_stage.attempts, 3, "one retry recorded");
+}

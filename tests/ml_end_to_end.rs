@@ -1,0 +1,105 @@
+//! Cross-crate integration: full training runs through the facade — every
+//! model of Table 3, every aggregation mode, identical results, plus
+//! dataset round trips through libsvm.
+
+use sparker::data::libsvm;
+use sparker::data::profiles::{avazu, enron};
+use sparker::ml::glm::TrainRecord;
+use sparker::ml::lda;
+use sparker::ml::point::LabeledPoint;
+use sparker::prelude::*;
+
+fn classification_data(cluster: &LocalCluster, samples: u64, features: usize) -> Dataset<LabeledPoint> {
+    let gen = avazu().feature_scaled(features as f64 / 1e6).classification_gen();
+    let parts = 4;
+    let ds = cluster.generate(parts, move |p| {
+        gen.partition(p, parts, samples)
+            .into_iter()
+            .map(LabeledPoint::from)
+            .collect()
+    });
+    let ds = ds.cache();
+    ds.count().unwrap();
+    ds
+}
+
+fn weights_close(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() < 1e-9, "weight {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn lr_three_modes_identical_and_loss_decreases() {
+    let cluster = LocalCluster::local(3, 2);
+    let data = classification_data(&cluster, 600, 64);
+    let lr = LogisticRegression { iterations: 8, ..Default::default() };
+    let (m_tree, rec) = lr.train(&data, 64).unwrap();
+    let (m_imm, _) = lr.with_mode(AggregationMode::TreeImm).train(&data, 64).unwrap();
+    let (m_split, _) = lr.with_mode(AggregationMode::split()).train(&data, 64).unwrap();
+    weights_close(&m_tree.weights, &m_imm.weights);
+    weights_close(&m_tree.weights, &m_split.weights);
+    assert!(rec.last().unwrap().loss < rec[0].loss);
+    assert!(rec.iter().all(|r: &TrainRecord| r.count == 600));
+}
+
+#[test]
+fn svm_three_modes_identical() {
+    let cluster = LocalCluster::local(2, 2);
+    let data = classification_data(&cluster, 400, 32);
+    let svm = LinearSvm { iterations: 6, ..Default::default() };
+    let (m_tree, _) = svm.train(&data, 32).unwrap();
+    let (m_imm, _) = svm.with_mode(AggregationMode::TreeImm).train(&data, 32).unwrap();
+    let (m_split, _) = svm.with_mode(AggregationMode::split()).train(&data, 32).unwrap();
+    weights_close(&m_tree.weights, &m_imm.weights);
+    weights_close(&m_tree.weights, &m_split.weights);
+}
+
+#[test]
+fn lda_split_mode_trains_and_improves() {
+    let cluster = LocalCluster::local(3, 2);
+    let profile = enron().scaled(2e-3).feature_scaled(4e-3);
+    let gen = profile.corpus_gen(4);
+    let docs = profile.samples();
+    let vocab = profile.features();
+    let g = gen.clone();
+    let data = cluster.generate(4, move |p| g.partition(p, 4, docs)).cache();
+    data.count().unwrap();
+    let cfg = lda::LdaConfig { iterations: 5, ..lda::LdaConfig::new(4, vocab) }
+        .with_mode(AggregationMode::split());
+    let (model, records) = lda::train(&data, cfg).unwrap();
+    assert_eq!(model.lambda.len(), 4 * vocab);
+    assert!(records.last().unwrap().neg_loglik_per_word < records[0].neg_loglik_per_word);
+}
+
+#[test]
+fn training_metrics_expose_aggregation_strategy() {
+    let cluster = LocalCluster::local(2, 2);
+    let data = classification_data(&cluster, 200, 16);
+    let lr = LogisticRegression { iterations: 2, ..Default::default() };
+    let (_, rec_tree) = lr.train(&data, 16).unwrap();
+    assert_eq!(rec_tree[0].metrics.strategy, AggStrategy::Tree);
+    let (_, rec_split) = lr.with_mode(AggregationMode::split()).train(&data, 16).unwrap();
+    assert_eq!(rec_split[0].metrics.strategy, AggStrategy::Split);
+    assert!(rec_split[0].metrics.bytes_to_driver < rec_tree[0].metrics.bytes_to_driver);
+}
+
+#[test]
+fn libsvm_roundtrip_feeds_training() {
+    // Serialize a synthetic dataset to libsvm text, parse it back, and
+    // train on the parsed copy: both models must be identical.
+    let gen = avazu().feature_scaled(3.2e-5).classification_gen(); // 32 features
+    let examples: Vec<_> = (0..200).map(|i| gen.sample(i)).collect();
+    let text = libsvm::write(&examples);
+    let parsed = libsvm::parse(&text).unwrap();
+    assert_eq!(parsed, examples);
+
+    let cluster = LocalCluster::local(2, 1);
+    let original: Vec<LabeledPoint> = examples.into_iter().map(Into::into).collect();
+    let reparsed: Vec<LabeledPoint> = parsed.into_iter().map(Into::into).collect();
+    let lr = LogisticRegression { iterations: 3, ..Default::default() };
+    let (m1, _) = lr.train(&cluster.parallelize(original, 4), 32).unwrap();
+    let (m2, _) = lr.train(&cluster.parallelize(reparsed, 4), 32).unwrap();
+    weights_close(&m1.weights, &m2.weights);
+}

@@ -1,0 +1,171 @@
+//! Property-based tests on the core invariants:
+//!
+//! * reduce-scatter (ring and halving) followed by reassembly equals a
+//!   sequential reduction, for arbitrary cluster shapes and values;
+//! * allreduce leaves every rank with the same, correct result;
+//! * the codec round-trips arbitrary payloads;
+//! * `slice_bounds` tiles any length exactly.
+
+use proptest::prelude::*;
+
+use sparker::collectives::allreduce::ring_allreduce;
+use sparker::collectives::gather::gather_segments;
+use sparker::collectives::halving::recursive_halving_reduce_scatter;
+use sparker::collectives::ring::ring_reduce_scatter;
+use sparker::collectives::testing::{run_ring_cluster, RingClusterSpec};
+use sparker::prelude::*;
+
+/// Per-rank input: rank r's segment g holds `values[g]` shifted by rank.
+fn seed(rank: usize, values: &[i64]) -> Vec<U64SumSegment> {
+    values
+        .iter()
+        .map(|&v| U64SumSegment(vec![(v as u64).wrapping_add(rank as u64 * 1_000_003)]))
+        .collect()
+}
+
+fn expected(g: usize, values: &[i64], n: usize) -> u64 {
+    (0..n).fold(0u64, |acc, r| {
+        acc.wrapping_add((values[g] as u64).wrapping_add(r as u64 * 1_000_003))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn ring_reduce_scatter_equals_sequential(
+        nodes in 1usize..4,
+        epn in 1usize..3,
+        parallelism in 1usize..4,
+        base in proptest::collection::vec(any::<i64>(), 1..6),
+    ) {
+        let spec = RingClusterSpec::unshaped(nodes, epn, parallelism);
+        let n = spec.total_executors();
+        let total = parallelism * n;
+        // Tile the arbitrary values over the required segment count.
+        let values: Vec<i64> = (0..total).map(|i| base[i % base.len()]).collect();
+        let v2 = values.clone();
+        let per_rank = run_ring_cluster(&spec, move |comm| {
+            let segs = seed(comm.rank(), &v2);
+            ring_reduce_scatter(&comm, segs).unwrap()
+        });
+        let mut seen = vec![false; total];
+        for owned in &per_rank {
+            for o in owned {
+                prop_assert!(!seen[o.index]);
+                seen[o.index] = true;
+                prop_assert_eq!(o.segment.0[0], expected(o.index, &values, n));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn halving_reduce_scatter_equals_sequential(
+        nodes in 1usize..3,
+        epn in 1usize..4,
+        mult in 1usize..4,
+        base in proptest::collection::vec(any::<i64>(), 1..6),
+    ) {
+        let spec = RingClusterSpec::unshaped(nodes, epn, 1);
+        let n = spec.total_executors();
+        let mut p2 = 1usize;
+        while p2 * 2 <= n { p2 *= 2; }
+        let total = p2 * mult;
+        let values: Vec<i64> = (0..total).map(|i| base[i % base.len()]).collect();
+        let v2 = values.clone();
+        let per_rank = run_ring_cluster(&spec, move |comm| {
+            let segs = seed(comm.rank(), &v2);
+            recursive_halving_reduce_scatter(&comm, segs).unwrap()
+        });
+        let mut seen = vec![false; total];
+        for owned in &per_rank {
+            for o in owned {
+                prop_assert!(!seen[o.index]);
+                seen[o.index] = true;
+                prop_assert_eq!(o.segment.0[0], expected(o.index, &values, n));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn allreduce_agrees_on_every_rank(
+        epn in 1usize..5,
+        parallelism in 1usize..3,
+        base in proptest::collection::vec(any::<i64>(), 1..4),
+    ) {
+        let spec = RingClusterSpec::unshaped(1, epn, parallelism);
+        let n = spec.total_executors();
+        let total = parallelism * n;
+        let values: Vec<i64> = (0..total).map(|i| base[i % base.len()]).collect();
+        let v2 = values.clone();
+        let per_rank = run_ring_cluster(&spec, move |comm| {
+            let segs = seed(comm.rank(), &v2);
+            ring_allreduce(&comm, segs).unwrap()
+        });
+        for result in &per_rank {
+            prop_assert_eq!(result.len(), total);
+            for (g, seg) in result.iter().enumerate() {
+                prop_assert_eq!(seg.0[0], expected(g, &values, n));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_gather_is_full_reduction(
+        epn in 2usize..5,
+        base in proptest::collection::vec(any::<i64>(), 1..4),
+    ) {
+        let spec = RingClusterSpec::unshaped(1, epn, 1);
+        let n = spec.total_executors();
+        let values: Vec<i64> = (0..n).map(|i| base[i % base.len()]).collect();
+        let v2 = values.clone();
+        let results = run_ring_cluster(&spec, move |comm| {
+            let segs = seed(comm.rank(), &v2);
+            let owned = ring_reduce_scatter(&comm, segs).unwrap();
+            gather_segments(&comm, owned, 0, n).unwrap()
+        });
+        let segs = results[0].as_ref().unwrap();
+        for (g, seg) in segs.iter().enumerate() {
+            prop_assert_eq!(seg.0[0], expected(g, &values, n));
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_floats(data in proptest::collection::vec(any::<f64>(), 0..200)) {
+        let arr = F64Array(data.clone());
+        let back = F64Array::from_frame(arr.to_frame()).unwrap();
+        prop_assert_eq!(back.0.len(), data.len());
+        for (a, b) in back.0.iter().zip(&data) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "bitwise identical, NaNs included");
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_nested_payloads(
+        items in proptest::collection::vec((any::<u32>(), any::<f64>()), 0..50),
+        label in ".{0,32}",
+    ) {
+        let value = (label.clone(), items.clone());
+        let back = <(String, Vec<(u32, f64)>)>::from_frame(value.to_frame()).unwrap();
+        prop_assert_eq!(back.0, label);
+        prop_assert_eq!(back.1.len(), items.len());
+        for ((ai, af), (bi, bf)) in back.1.iter().zip(&items) {
+            prop_assert_eq!(ai, bi);
+            prop_assert_eq!(af.to_bits(), bf.to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_bounds_tile_exactly(len in 0usize..5000, n in 1usize..64) {
+        let mut prev_end = 0;
+        for i in 0..n {
+            let (s, e) = slice_bounds(len, i, n);
+            prop_assert_eq!(s, prev_end);
+            prop_assert!(e >= s);
+            prev_end = e;
+        }
+        prop_assert_eq!(prev_end, len);
+    }
+}

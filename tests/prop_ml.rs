@@ -1,0 +1,91 @@
+//! Property tests on the ML layer's core invariant: aggregation strategy
+//! never changes the math. For arbitrary datasets, weights from Tree,
+//! Tree+IMM and Split training runs must agree to floating-point noise, and
+//! libsvm round trips must be lossless.
+
+use proptest::prelude::*;
+
+use sparker::data::libsvm;
+use sparker::data::synth::SparseExample;
+use sparker::ml::glm::{run_gradient_descent, GdConfig, GradientKind};
+use sparker::ml::point::LabeledPoint;
+use sparker::prelude::*;
+
+/// Strategy for a random sparse sample over `dim` features.
+fn arb_point(dim: usize) -> impl Strategy<Value = LabeledPoint> {
+    (
+        prop_oneof![Just(1.0f64), Just(-1.0f64)],
+        proptest::collection::btree_set(0..dim as u32, 1..(dim / 2).max(2)),
+        proptest::collection::vec(-3.0f64..3.0, 64),
+    )
+        .prop_map(|(label, idx, vals)| {
+            let indices: Vec<u32> = idx.into_iter().collect();
+            let values: Vec<f64> =
+                indices.iter().enumerate().map(|(i, _)| vals[i % vals.len()]).collect();
+            LabeledPoint::new(label, indices, values)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn training_is_strategy_invariant(
+        points in proptest::collection::vec(arb_point(24), 8..60),
+        kind in prop_oneof![Just(GradientKind::Logistic), Just(GradientKind::Hinge)],
+    ) {
+        let dim = 24;
+        let cluster = LocalCluster::local(3, 2);
+        let ds = cluster.parallelize(points, 5);
+        let cfg = |mode| GdConfig { iterations: 2, mode, ..Default::default() };
+        let (w_tree, _) = run_gradient_descent(&ds, dim, kind, cfg(AggregationMode::Tree)).unwrap();
+        let (w_imm, _) =
+            run_gradient_descent(&ds, dim, kind, cfg(AggregationMode::TreeImm)).unwrap();
+        let (w_split, _) =
+            run_gradient_descent(&ds, dim, kind, cfg(AggregationMode::split())).unwrap();
+        for i in 0..dim {
+            prop_assert!((w_tree[i] - w_imm[i]).abs() < 1e-9, "imm differs at {i}");
+            prop_assert!((w_tree[i] - w_split[i]).abs() < 1e-9, "split differs at {i}");
+        }
+    }
+
+    #[test]
+    fn libsvm_roundtrip_is_lossless(
+        examples in proptest::collection::vec(
+            (
+                prop_oneof![Just(1.0f64), Just(-1.0f64)],
+                proptest::collection::btree_map(0u32..500, -100.0f64..100.0, 0..20),
+            )
+                .prop_map(|(label, m)| {
+                    let (indices, values): (Vec<u32>, Vec<f64>) = m.into_iter().unzip();
+                    SparseExample { label, indices, values }
+                }),
+            0..30,
+        ),
+    ) {
+        let text = libsvm::write(&examples);
+        let parsed = libsvm::parse(&text).unwrap();
+        prop_assert_eq!(parsed, examples);
+    }
+
+    #[test]
+    fn gradient_accumulation_is_order_independent(
+        points in proptest::collection::vec(arb_point(16), 2..20),
+        w in proptest::collection::vec(-1.0f64..1.0, 16),
+    ) {
+        // Summing sample gradients in any order gives the same totals (up
+        // to fp reassociation on disjoint sparse supports, which is exact
+        // for disjoint indices and near-exact otherwise).
+        let mut fwd = vec![0.0; 18];
+        for p in &points {
+            GradientKind::Logistic.accumulate(&w, p, &mut fwd);
+        }
+        let mut rev = vec![0.0; 18];
+        for p in points.iter().rev() {
+            GradientKind::Logistic.accumulate(&w, p, &mut rev);
+        }
+        for i in 0..18 {
+            prop_assert!((fwd[i] - rev[i]).abs() <= 1e-9 * (1.0 + fwd[i].abs()));
+        }
+    }
+}
