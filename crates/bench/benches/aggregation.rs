@@ -1,7 +1,7 @@
-//! Criterion: engine-level aggregation — tree vs tree+IMM vs split on an
-//! unshaped local cluster (pure engine + codec overheads).
+//! Engine-level aggregation — tree vs tree+IMM vs split on an unshaped
+//! local cluster (pure engine + codec overheads).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparker_bench::micro::Bench;
 use sparker_engine::cluster::LocalCluster;
 use sparker_engine::config::ClusterSpec;
 use sparker_engine::dataset::Dataset;
@@ -24,58 +24,48 @@ fn seq(mut acc: F64Array, v: &Vec<f64>) -> F64Array {
     acc
 }
 
-fn bench_aggregation(c: &mut Criterion) {
+fn main() {
     let cluster = LocalCluster::new(ClusterSpec::local(4, 2));
-    let mut g = c.benchmark_group("aggregation_unshaped");
-    g.sample_size(10);
+    let mut b = Bench::new("aggregation_unshaped").samples(10);
     for &elems in &[4096usize, 128 * 1024] {
         let data = make_data(&cluster, elems);
-        g.throughput(Throughput::Bytes((elems * 8) as u64));
-        g.bench_with_input(BenchmarkId::new("tree", elems), &data, |b, data| {
-            b.iter(|| {
-                data.tree_aggregate(
-                    F64Array(vec![0.0; elems]),
-                    seq,
-                    |mut a, bb| {
-                        sparker::dense::merge(&mut a, bb);
-                        a
-                    },
-                    TreeAggOpts::default(),
-                )
-                .unwrap()
-            })
+        let bytes = Some((elems * 8) as u64);
+        b.run(&format!("tree/{elems}"), bytes, || {
+            data.tree_aggregate(
+                F64Array(vec![0.0; elems]),
+                seq,
+                |mut a, bb| {
+                    sparker::dense::merge(&mut a, bb);
+                    a
+                },
+                TreeAggOpts::default(),
+            )
+            .unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("tree_imm", elems), &data, |b, data| {
-            b.iter(|| {
-                data.tree_aggregate(
-                    F64Array(vec![0.0; elems]),
-                    seq,
-                    |mut a, bb| {
-                        sparker::dense::merge(&mut a, bb);
-                        a
-                    },
-                    TreeAggOpts { depth: 2, imm: true },
-                )
-                .unwrap()
-            })
+        b.run(&format!("tree_imm/{elems}"), bytes, || {
+            data.tree_aggregate(
+                F64Array(vec![0.0; elems]),
+                seq,
+                |mut a, bb| {
+                    sparker::dense::merge(&mut a, bb);
+                    a
+                },
+                TreeAggOpts { depth: 2, imm: true },
+            )
+            .unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("split", elems), &data, |b, data| {
-            b.iter(|| {
-                data.split_aggregate(
-                    F64Array(vec![0.0; elems]),
-                    seq,
-                    sparker::dense::merge,
-                    sparker::dense::split,
-                    sparker::dense::merge_segments,
-                    sparker::dense::concat,
-                    SplitAggOpts::default(),
-                )
-                .unwrap()
-            })
+        b.run(&format!("split/{elems}"), bytes, || {
+            data.split_aggregate(
+                F64Array(vec![0.0; elems]),
+                seq,
+                sparker::dense::merge,
+                sparker::dense::split,
+                sparker::dense::merge_segments,
+                sparker::dense::concat,
+                SplitAggOpts::default(),
+            )
+            .unwrap()
         });
     }
-    g.finish();
+    b.finish().unwrap();
 }
-
-criterion_group!(benches, bench_aggregation);
-criterion_main!(benches);

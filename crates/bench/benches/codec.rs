@@ -1,43 +1,32 @@
-//! Criterion: codec throughput — the serialization boundary every
-//! aggregator crosses. Bulk `f64` slices (the hot path) vs element-wise
-//! encoding, plus decode.
+//! Codec throughput — the serialization boundary every aggregator crosses.
+//! Bulk `f64` slices (the hot path) vs element-wise encoding, plus decode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparker_bench::micro::Bench;
 use sparker_net::codec::{Decoder, Encoder, F64Array, Payload};
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
-    g.sample_size(20);
+fn main() {
+    let mut b = Bench::new("codec").samples(20);
     for &elems in &[1024usize, 64 * 1024] {
         let data: Vec<f64> = (0..elems).map(|i| i as f64 * 0.5).collect();
-        g.throughput(Throughput::Bytes((elems * 8) as u64));
-        g.bench_with_input(BenchmarkId::new("encode_bulk", elems), &data, |b, data| {
-            b.iter(|| {
-                let mut enc = Encoder::with_capacity(data.len() * 8 + 8);
-                enc.put_f64_slice(data);
-                enc.finish()
-            })
+        let bytes = Some((elems * 8) as u64);
+        b.run(&format!("encode_bulk/{elems}"), bytes, || {
+            let mut enc = Encoder::with_capacity(data.len() * 8 + 8);
+            enc.put_f64_slice(&data);
+            enc.finish()
         });
-        g.bench_with_input(BenchmarkId::new("encode_elementwise", elems), &data, |b, data| {
-            b.iter(|| {
-                let mut enc = Encoder::with_capacity(data.len() * 8 + 8);
-                enc.put_usize(data.len());
-                for &x in data {
-                    enc.put_f64(x);
-                }
-                enc.finish()
-            })
+        b.run(&format!("encode_elementwise/{elems}"), bytes, || {
+            let mut enc = Encoder::with_capacity(data.len() * 8 + 8);
+            enc.put_usize(data.len());
+            for &x in &data {
+                enc.put_f64(x);
+            }
+            enc.finish()
         });
         let frame = F64Array(data.clone()).to_frame();
-        g.bench_with_input(BenchmarkId::new("decode_bulk", elems), &frame, |b, frame| {
-            b.iter(|| {
-                let mut dec = Decoder::new(frame.clone());
-                dec.get_f64_vec().unwrap()
-            })
+        b.run(&format!("decode_bulk/{elems}"), bytes, || {
+            let mut dec = Decoder::new(frame.clone());
+            dec.get_f64_vec().unwrap()
         });
     }
-    g.finish();
+    b.finish().unwrap();
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

@@ -1,50 +1,39 @@
-//! Criterion: the collective algorithms on an unshaped 4-rank ring —
-//! pure algorithm + codec cost, no modeled network.
+//! The collective algorithms on an unshaped 4-rank ring — pure algorithm +
+//! codec cost, no modeled network.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparker_bench::micro::Bench;
 use sparker_collectives::allreduce::ring_allreduce;
 use sparker_collectives::halving::recursive_halving_reduce_scatter;
 use sparker_collectives::ring::ring_reduce_scatter;
 use sparker_collectives::segment::U64SumSegment;
 use sparker_collectives::testing::{run_ring_cluster, RingClusterSpec};
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collectives_4ranks");
-    g.sample_size(10);
+fn main() {
+    let mut b = Bench::new("collectives_4ranks").samples(10);
     for &elems in &[1024usize, 32 * 1024] {
-        let total_bytes = (elems * 8 * 4) as u64; // per-rank aggregator x 4
-        g.throughput(Throughput::Bytes(total_bytes));
+        let total_bytes = Some((elems * 8 * 4) as u64); // per-rank aggregator x 4
         let spec = RingClusterSpec::unshaped(1, 4, 1);
-        g.bench_with_input(BenchmarkId::new("ring_reduce_scatter", elems), &spec, |b, spec| {
-            b.iter(|| {
-                run_ring_cluster(spec, |comm| {
-                    let segs: Vec<U64SumSegment> =
-                        (0..4).map(|_| U64SumSegment(vec![1; elems / 4])).collect();
-                    ring_reduce_scatter(&comm, segs).unwrap()
-                })
+        b.run(&format!("ring_reduce_scatter/{elems}"), total_bytes, || {
+            run_ring_cluster(&spec, move |comm| {
+                let segs: Vec<U64SumSegment> =
+                    (0..4).map(|_| U64SumSegment(vec![1; elems / 4])).collect();
+                ring_reduce_scatter(&comm, segs).unwrap()
             })
         });
-        g.bench_with_input(BenchmarkId::new("recursive_halving", elems), &spec, |b, spec| {
-            b.iter(|| {
-                run_ring_cluster(spec, |comm| {
-                    let segs: Vec<U64SumSegment> =
-                        (0..4).map(|_| U64SumSegment(vec![1; elems / 4])).collect();
-                    recursive_halving_reduce_scatter(&comm, segs).unwrap()
-                })
+        b.run(&format!("recursive_halving/{elems}"), total_bytes, || {
+            run_ring_cluster(&spec, move |comm| {
+                let segs: Vec<U64SumSegment> =
+                    (0..4).map(|_| U64SumSegment(vec![1; elems / 4])).collect();
+                recursive_halving_reduce_scatter(&comm, segs).unwrap()
             })
         });
-        g.bench_with_input(BenchmarkId::new("ring_allreduce", elems), &spec, |b, spec| {
-            b.iter(|| {
-                run_ring_cluster(spec, |comm| {
-                    let segs: Vec<U64SumSegment> =
-                        (0..4).map(|_| U64SumSegment(vec![1; elems / 4])).collect();
-                    ring_allreduce(&comm, segs).unwrap()
-                })
+        b.run(&format!("ring_allreduce/{elems}"), total_bytes, || {
+            run_ring_cluster(&spec, move |comm| {
+                let segs: Vec<U64SumSegment> =
+                    (0..4).map(|_| U64SumSegment(vec![1; elems / 4])).collect();
+                ring_allreduce(&comm, segs).unwrap()
             })
         });
     }
-    g.finish();
+    b.finish().unwrap();
 }
-
-criterion_group!(benches, bench_collectives);
-criterion_main!(benches);

@@ -1,17 +1,16 @@
-//! Criterion: one gradient-descent iteration of each model family — the
-//! unit of work every end-to-end figure multiplies.
+//! One gradient-descent iteration of each model family — the unit of work
+//! every end-to-end figure multiplies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sparker_bench::micro::Bench;
 use sparker_data::synth::{ClassificationGen, CorpusGen};
 use sparker_engine::cluster::LocalCluster;
 use sparker_ml::glm::{run_gradient_descent, GdConfig, GradientKind};
 use sparker_ml::lda::{train as lda_train, LdaConfig};
 use sparker_ml::point::LabeledPoint;
 
-fn bench_ml(c: &mut Criterion) {
+fn main() {
     let cluster = LocalCluster::local(2, 2);
-    let mut g = c.benchmark_group("ml_iteration");
-    g.sample_size(10);
+    let mut b = Bench::new("ml_iteration").samples(10);
 
     let gen = ClassificationGen::new(5, 256, 10);
     let lr_data = {
@@ -23,16 +22,14 @@ fn bench_ml(c: &mut Criterion) {
             .cache()
     };
     lr_data.count().unwrap();
-    g.bench_function("logistic_iteration_2000x256", |b| {
-        b.iter(|| {
-            run_gradient_descent(
-                &lr_data,
-                256,
-                GradientKind::Logistic,
-                GdConfig { iterations: 1, ..Default::default() },
-            )
-            .unwrap()
-        })
+    b.run("logistic_iteration_2000x256", None, || {
+        run_gradient_descent(
+            &lr_data,
+            256,
+            GradientKind::Logistic,
+            GdConfig { iterations: 1, ..Default::default() },
+        )
+        .unwrap()
     });
 
     let corpus = CorpusGen::new(7, 500, 5, 80);
@@ -41,17 +38,8 @@ fn bench_ml(c: &mut Criterion) {
         cluster.generate(4, move |p| g2.partition(p, 4, 100)).cache()
     };
     lda_data.count().unwrap();
-    g.bench_function("lda_iteration_100docs_k5_v500", |b| {
-        b.iter(|| {
-            lda_train(
-                &lda_data,
-                LdaConfig { iterations: 1, ..LdaConfig::new(5, 500) },
-            )
-            .unwrap()
-        })
+    b.run("lda_iteration_100docs_k5_v500", None, || {
+        lda_train(&lda_data, LdaConfig { iterations: 1, ..LdaConfig::new(5, 500) }).unwrap()
     });
-    g.finish();
+    b.finish().unwrap();
 }
-
-criterion_group!(benches, bench_ml);
-criterion_main!(benches);

@@ -1,30 +1,23 @@
-//! Criterion: raw point-to-point overhead of the in-process mesh (unshaped)
-//! — the substrate's own cost floor, beneath any modeled network delay.
+//! Raw point-to-point overhead of the in-process mesh (unshaped) — the
+//! substrate's own cost floor, beneath any modeled network delay.
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparker_bench::micro::Bench;
 use sparker_net::topology::{round_robin_layout, ExecutorId};
 use sparker_net::transport::{MeshTransport, Transport};
+use sparker_net::ByteBuf;
 
-fn bench_p2p(c: &mut Criterion) {
+fn main() {
     let execs = round_robin_layout(2, 1, 1);
     let net: Arc<MeshTransport> = MeshTransport::unshaped(&execs, 1);
-    let mut g = c.benchmark_group("p2p_unshaped");
-    g.sample_size(30);
+    let mut b = Bench::new("p2p_unshaped");
     for &size in &[8usize, 1024, 64 * 1024] {
-        let payload = Bytes::from(vec![0u8; size]);
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("send_recv", size), &payload, |b, payload| {
-            b.iter(|| {
-                net.send(ExecutorId(0), ExecutorId(1), 0, payload.clone()).unwrap();
-                net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()
-            })
+        let payload = ByteBuf::from(vec![0u8; size]);
+        b.run(&format!("send_recv/{size}"), Some(size as u64), || {
+            net.send(ExecutorId(0), ExecutorId(1), 0, payload.clone()).unwrap();
+            net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()
         });
     }
-    g.finish();
+    b.finish().unwrap();
 }
-
-criterion_group!(benches, bench_p2p);
-criterion_main!(benches);

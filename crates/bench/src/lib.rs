@@ -5,6 +5,8 @@
 //! the paper's reference numbers next to ours, and (optionally) drops a CSV
 //! under `results/` for external plotting.
 
+pub mod micro;
+
 use std::fmt::Write as _;
 use std::io::Write as _;
 

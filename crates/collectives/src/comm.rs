@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use sparker_net::ByteBuf;
 
 use sparker_net::error::NetResult;
 use sparker_net::topology::RingTopology;
@@ -54,24 +54,24 @@ impl RingComm {
     }
 
     /// Sends to the next rank around the ring on `channel`.
-    pub fn send_next(&self, channel: usize, msg: Bytes) -> NetResult<()> {
+    pub fn send_next(&self, channel: usize, msg: ByteBuf) -> NetResult<()> {
         self.send_to_rank(self.ring.next(self.rank), channel, msg)
     }
 
     /// Receives from the previous rank around the ring on `channel`.
-    pub fn recv_prev(&self, channel: usize) -> NetResult<Bytes> {
+    pub fn recv_prev(&self, channel: usize) -> NetResult<ByteBuf> {
         self.recv_from_rank(self.ring.prev(self.rank), channel)
     }
 
     /// Sends to an arbitrary rank (tree/halving algorithms).
-    pub fn send_to_rank(&self, rank: usize, channel: usize, msg: Bytes) -> NetResult<()> {
+    pub fn send_to_rank(&self, rank: usize, channel: usize, msg: ByteBuf) -> NetResult<()> {
         let me = self.ring.executor_at(self.rank).id;
         let to = self.ring.executor_at(rank).id;
         self.net.send(me, to, channel, msg)
     }
 
     /// Receives from an arbitrary rank.
-    pub fn recv_from_rank(&self, rank: usize, channel: usize) -> NetResult<Bytes> {
+    pub fn recv_from_rank(&self, rank: usize, channel: usize) -> NetResult<ByteBuf> {
         let me = self.ring.executor_at(self.rank).id;
         let from = self.ring.executor_at(rank).id;
         self.net.recv(me, from, channel)
@@ -84,7 +84,7 @@ impl RingComm {
         rank: usize,
         channel: usize,
         timeout: Duration,
-    ) -> NetResult<Bytes> {
+    ) -> NetResult<ByteBuf> {
         let me = self.ring.executor_at(self.rank).id;
         let from = self.ring.executor_at(rank).id;
         self.net.recv_timeout(me, from, channel, timeout)
@@ -110,9 +110,9 @@ mod tests {
     #[test]
     fn ring_send_recv_by_rank() {
         let (a, b) = comm_pair();
-        a.send_next(0, Bytes::from_static(b"fwd")).unwrap();
+        a.send_next(0, ByteBuf::from_static(b"fwd")).unwrap();
         assert_eq!(&b.recv_prev(0).unwrap()[..], b"fwd");
-        b.send_next(1, Bytes::from_static(b"wrap")).unwrap();
+        b.send_next(1, ByteBuf::from_static(b"wrap")).unwrap();
         assert_eq!(&a.recv_prev(1).unwrap()[..], b"wrap");
     }
 

@@ -12,7 +12,7 @@ use crate::comm::RingComm;
 use crate::ring::OwnedSegment;
 use crate::segment::Segment;
 
-fn encode_owned<S: Segment>(owned: &[OwnedSegment<S>]) -> bytes::Bytes {
+fn encode_owned<S: Segment>(owned: &[OwnedSegment<S>]) -> sparker_net::ByteBuf {
     let mut enc = Encoder::new();
     enc.put_usize(owned.len());
     for o in owned {
@@ -22,7 +22,7 @@ fn encode_owned<S: Segment>(owned: &[OwnedSegment<S>]) -> bytes::Bytes {
     enc.finish()
 }
 
-fn decode_owned<S: Segment>(frame: bytes::Bytes) -> NetResult<Vec<OwnedSegment<S>>> {
+fn decode_owned<S: Segment>(frame: sparker_net::ByteBuf) -> NetResult<Vec<OwnedSegment<S>>> {
     let mut dec = Decoder::new(frame);
     let count = dec.get_usize()?;
     let mut out = Vec::with_capacity(count);

@@ -21,7 +21,7 @@ use crate::comm::RingComm;
 use crate::ring::OwnedSegment;
 use crate::segment::Segment;
 
-fn encode_range<V: Payload>(segs: &[V], lo: usize, hi: usize) -> bytes::Bytes {
+fn encode_range<V: Payload>(segs: &[V], lo: usize, hi: usize) -> sparker_net::ByteBuf {
     let mut enc = Encoder::new();
     enc.put_usize(hi - lo);
     for s in &segs[lo..hi] {
@@ -34,7 +34,7 @@ fn merge_range<V, F>(
     segs: &mut [V],
     lo: usize,
     hi: usize,
-    frame: bytes::Bytes,
+    frame: sparker_net::ByteBuf,
     merge: &F,
 ) -> NetResult<()>
 where

@@ -110,7 +110,7 @@ mod tests {
         let spec = RingClusterSpec::unshaped(1, 4, 1);
         let sums = run_ring_cluster(&spec, |c| {
             // Each rank sends its rank to next; receives prev's rank.
-            c.send_next(0, bytes::Bytes::from(vec![c.rank() as u8])).unwrap();
+            c.send_next(0, sparker_net::ByteBuf::from(vec![c.rank() as u8])).unwrap();
             let m = c.recv_prev(0).unwrap();
             m[0] as usize
         });

@@ -21,6 +21,20 @@
 //! * [`profiles`] — the Table 2 rows as data, each with a `scale` factor to
 //!   shrink sample counts to laptop scale while keeping aggregator
 //!   dimensions meaningful.
+//!
+//! Real data interoperates through the libsvm format, losslessly:
+//!
+//! ```
+//! use sparker_data::synth::SparseExample;
+//!
+//! let examples = vec![SparseExample {
+//!     label: 1.0,
+//!     indices: vec![0, 3],
+//!     values: vec![0.5, -1.0],
+//! }];
+//! let text = sparker_data::libsvm::write(&examples);
+//! assert_eq!(sparker_data::libsvm::parse(&text).unwrap(), examples);
+//! ```
 
 pub mod libsvm;
 pub mod profiles;

@@ -11,7 +11,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use sparker_net::sync::RwLock;
 
 use crate::rdd::RddId;
 

@@ -20,8 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use sparker_net::ByteBuf;
+use sparker_net::sync::{channel, Receiver, Sender};
 
 use sparker_net::blockmanager::BlockManagerTransport;
 use sparker_net::error::NetError;
@@ -79,7 +79,7 @@ pub struct ClusterInner {
     /// operations share the per-executor→driver streams, so interleaved
     /// actions would steal each other's frames. Spark's driver similarly
     /// serializes result handling per job.
-    action_guard: parking_lot::ReentrantMutex<()>,
+    action_guard: sparker_net::sync::ReentrantMutex,
     /// Per-stage event log (the engine's Spark history log).
     history: History,
 }
@@ -136,7 +136,7 @@ impl LocalCluster {
                 executors,
                 fault_plan: FaultPlan::new(),
                 op_counter: AtomicU64::new(1),
-                action_guard: parking_lot::ReentrantMutex::new(()),
+                action_guard: sparker_net::sync::ReentrantMutex::new(),
                 history: History::new(),
             }),
         }
@@ -179,7 +179,7 @@ impl LocalCluster {
 }
 
 fn spawn_executor(info: &ExecutorInfo) -> ExecutorHandle {
-    let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+    let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
     let ctx = TaskContext {
         executor: info.id,
         blocks: Arc::new(BlockStore::new()),
@@ -206,7 +206,7 @@ impl Drop for ClusterInner {
     fn drop(&mut self) {
         // Close queues, then join workers so no threads outlive the cluster.
         for h in &mut self.executors {
-            let (closed, _) = unbounded();
+            let (closed, _) = channel();
             h.queue = closed; // drop the live sender
         }
         for h in &mut self.executors {
@@ -226,7 +226,7 @@ impl ClusterInner {
     /// Takes the driver action lock. Every op (collect, aggregate, ...)
     /// holds this across its stages and result fetches; reentrant so ops
     /// can compose.
-    pub fn lock_action(&self) -> parking_lot::ReentrantMutexGuard<'_, ()> {
+    pub fn lock_action(&self) -> sparker_net::sync::ReentrantMutexGuard<'_> {
         self.action_guard.lock()
     }
 
@@ -273,14 +273,14 @@ impl ClusterInner {
         &self,
         from: ExecutorId,
         to: ExecutorId,
-        frame: Bytes,
+        frame: ByteBuf,
     ) -> Result<(), TaskFailure> {
         self.spec.cost.charge_ser(frame.len());
         self.bm.send(from, to, 0, frame).map_err(TaskFailure::from)
     }
 
     /// Sends a serialized task result to the driver (BlockManager path).
-    pub fn bm_send_to_driver(&self, from: ExecutorId, frame: Bytes) -> Result<(), TaskFailure> {
+    pub fn bm_send_to_driver(&self, from: ExecutorId, frame: ByteBuf) -> Result<(), TaskFailure> {
         self.bm_send(from, self.driver, frame)
     }
 
@@ -292,20 +292,20 @@ impl ClusterInner {
     /// Ships an already-serialized frame from the driver to an executor
     /// without re-charging the serializer (broadcast replicates one encoded
     /// copy; the wire and NIC shaping still apply per copy).
-    pub fn bm_send_raw_from_driver(&self, to: ExecutorId, frame: Bytes) -> EngineResult<()> {
+    pub fn bm_send_raw_from_driver(&self, to: ExecutorId, frame: ByteBuf) -> EngineResult<()> {
         self.bm.send(self.driver, to, 0, frame).map_err(EngineError::from)
     }
 
     /// Executor-side receive on the BlockManager path, charging the modeled
     /// deserializer.
-    pub fn bm_recv(&self, at: ExecutorId, from: ExecutorId) -> Result<Bytes, TaskFailure> {
+    pub fn bm_recv(&self, at: ExecutorId, from: ExecutorId) -> Result<ByteBuf, TaskFailure> {
         let f = self.bm.recv(at, from, 0).map_err(TaskFailure::from)?;
         self.spec.cost.charge_deser(f.len());
         Ok(f)
     }
 
     /// Driver-side receive of a task result frame sent by `from`.
-    pub fn driver_recv(&self, from: ExecutorId) -> EngineResult<Bytes> {
+    pub fn driver_recv(&self, from: ExecutorId) -> EngineResult<ByteBuf> {
         let f = self
             .bm
             .recv_timeout(self.driver, from, 0, STAGE_TIMEOUT)
@@ -336,7 +336,7 @@ impl ClusterInner {
         }
         let stage_start = std::time::Instant::now();
         let make = Arc::new(make);
-        let (tx, rx) = unbounded::<(usize, Result<R, TaskFailure>)>();
+        let (tx, rx) = channel::<(usize, Result<R, TaskFailure>)>();
 
         let submit = |idx: usize, attempt: u32| {
             let make = make.clone();
@@ -550,7 +550,7 @@ mod tests {
                 {
                     let inner = inner.clone();
                     move |_idx, ctx| {
-                        inner.bm_send_to_driver(ctx.executor, Bytes::from_static(b"result"))?;
+                        inner.bm_send_to_driver(ctx.executor, ByteBuf::from_static(b"result"))?;
                         Ok(())
                     }
                 },
@@ -575,7 +575,7 @@ mod tests {
                 &[ExecutorId(0), ExecutorId(1), ExecutorId(2)],
                 move |_idx, ctx| {
                     let comm = inner2.ring_comm(&ring2, ctx.executor);
-                    comm.send_next(0, Bytes::from(vec![comm.rank() as u8]))
+                    comm.send_next(0, ByteBuf::from(vec![comm.rank() as u8]))
                         .map_err(TaskFailure::from)?;
                     let got = comm.recv_prev(0).map_err(TaskFailure::from)?;
                     Ok((comm.rank(), got[0] as usize))

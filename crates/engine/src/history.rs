@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use sparker_net::sync::Mutex;
 
 /// One completed stage (including all resubmissions).
 #[derive(Debug, Clone, PartialEq)]

@@ -14,7 +14,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use sparker_net::sync::Mutex;
 
 /// Key of a shared object: (operation id, slot).
 ///

@@ -18,7 +18,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use parking_lot::Mutex;
+use sparker_net::sync::Mutex;
 
 use sparker_net::error::NetError;
 use sparker_net::topology::ExecutorId;

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use crate::bytebuf::ByteBuf;
 
 use crate::topology::ExecutorId;
 use crate::transport::Transport;
@@ -49,7 +49,7 @@ pub fn measure_latency(
             }
         })
     };
-    let payload = Bytes::from(vec![0u8; msg_bytes.max(1)]);
+    let payload = ByteBuf::from(vec![0u8; msg_bytes.max(1)]);
     for _ in 0..warmup {
         net.send(a, b, 0, payload.clone()).unwrap();
         net.recv(a, b, 0).unwrap();
@@ -108,7 +108,7 @@ pub fn measure_throughput(
                     for _ in 0..per {
                         net.recv(b, a, ch).expect("stream recv");
                     }
-                    net.send(b, a, ch, Bytes::from_static(b"ack")).expect("ack");
+                    net.send(b, a, ch, ByteBuf::from_static(b"ack")).expect("ack");
                 }));
             }
             for h in handles {
@@ -117,7 +117,7 @@ pub fn measure_throughput(
         })
     };
 
-    let payload = Bytes::from(vec![0u8; msg_bytes]);
+    let payload = ByteBuf::from(vec![0u8; msg_bytes]);
     let start = Instant::now();
     // Parallel senders, one per channel, so per-channel shaping overlaps the
     // way parallel sockets do.

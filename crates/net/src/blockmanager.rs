@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use crate::bytebuf::ByteBuf;
 
 use crate::error::NetResult;
 use crate::time::wait_for;
@@ -79,14 +79,14 @@ impl Transport for BlockManagerTransport {
         self.inner.channels()
     }
 
-    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: Bytes) -> NetResult<()> {
+    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()> {
         // Synchronous block registration with the master before the data
         // becomes fetchable.
         wait_for(self.scaled(self.costs.control_rpc));
         self.inner.send(from, to, channel, msg)
     }
 
-    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<Bytes> {
+    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<ByteBuf> {
         let msg = self.inner.recv(at, from, channel)?;
         // Location lookup RPC + average polling delay before the fetch
         // observes the registered block.
@@ -100,7 +100,7 @@ impl Transport for BlockManagerTransport {
         from: ExecutorId,
         channel: usize,
         timeout: Duration,
-    ) -> NetResult<Bytes> {
+    ) -> NetResult<ByteBuf> {
         let msg = self.inner.recv_timeout(at, from, channel, timeout)?;
         wait_for(self.scaled(self.costs.control_rpc + self.costs.poll_quantum));
         Ok(msg)
@@ -132,7 +132,7 @@ mod tests {
             mesh,
             BlockManagerCosts { control_rpc: Duration::ZERO, poll_quantum: Duration::ZERO },
         );
-        bm.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"blk"))
+        bm.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"blk"))
             .unwrap();
         assert_eq!(&bm.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()[..], b"blk");
     }
@@ -154,7 +154,7 @@ mod tests {
             },
         );
         let start = Instant::now();
-        bm.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"x"))
+        bm.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"x"))
             .unwrap();
         bm.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
         let elapsed = start.elapsed();

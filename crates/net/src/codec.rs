@@ -3,7 +3,7 @@
 //! Every value that crosses an executor boundary in this reproduction —
 //! task results flowing to the driver, aggregators moving between executors
 //! during tree aggregation, segments moving around the ring during
-//! reduce-scatter — is encoded through this module into [`Bytes`] frames.
+//! reduce-scatter — is encoded through this module into [`ByteBuf`] frames.
 //!
 //! Making the boundary explicit (instead of, say, sending `T` through a
 //! channel) matters for fidelity: the Sparker paper's In-Memory Merge
@@ -17,25 +17,25 @@
 //! bulk (memcpy) fast paths for the numeric slices that dominate ML
 //! aggregators.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::bytebuf::{ByteBuf, ByteBufMut};
 
 use crate::error::{NetError, NetResult};
 
 /// Streaming encoder over a growable byte buffer.
 #[derive(Debug, Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: ByteBufMut,
 }
 
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self { buf: ByteBufMut::new() }
     }
 
     /// Creates an encoder with `cap` bytes pre-reserved.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self { buf: ByteBufMut::with_capacity(cap) }
     }
 
     /// Number of bytes written so far.
@@ -49,7 +49,7 @@ impl Encoder {
     }
 
     /// Finishes encoding and returns the immutable frame.
-    pub fn finish(self) -> Bytes {
+    pub fn finish(self) -> ByteBuf {
         self.buf.freeze()
     }
 
@@ -156,16 +156,16 @@ impl Encoder {
 /// Streaming decoder over an immutable frame.
 #[derive(Debug)]
 pub struct Decoder {
-    buf: Bytes,
+    buf: ByteBuf,
 }
 
 impl Decoder {
     /// Wraps a frame for decoding.
-    pub fn new(buf: Bytes) -> Self {
+    pub fn new(buf: ByteBuf) -> Self {
         Self { buf }
     }
 
-    /// Bytes not yet consumed.
+    /// ByteBuf not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.remaining()
     }
@@ -214,7 +214,7 @@ impl Decoder {
         usize::try_from(v).map_err(|_| NetError::Codec(format!("usize overflow: {v}")))
     }
 
-    pub fn get_bytes(&mut self) -> NetResult<Bytes> {
+    pub fn get_bytes(&mut self) -> NetResult<ByteBuf> {
         let len = self.get_usize()?;
         self.need(len, "byte slice")?;
         Ok(self.buf.split_to(len))
@@ -332,14 +332,14 @@ pub trait Payload: Send + Sized + 'static {
     }
 
     /// Encodes `self` into a standalone frame.
-    fn to_frame(&self) -> Bytes {
+    fn to_frame(&self) -> ByteBuf {
         let mut enc = Encoder::with_capacity(self.size_hint());
         self.encode_into(&mut enc);
         enc.finish()
     }
 
     /// Decodes a value from a standalone frame, requiring full consumption.
-    fn from_frame(frame: Bytes) -> NetResult<Self> {
+    fn from_frame(frame: ByteBuf) -> NetResult<Self> {
         let mut dec = Decoder::new(frame);
         let v = Self::decode_from(&mut dec)?;
         if dec.remaining() != 0 {

@@ -8,10 +8,17 @@
 //! driver-centric or far too slow (3861 µs round-trip vs 16 µs for MPI).
 //! This crate provides the equivalent substrate for our in-process cluster:
 //!
+//! * [`bytebuf`] — the in-repo byte container ([`ByteBuf`] /
+//!   [`bytebuf::ByteBufMut`]): reference-counted frames with zero-copy
+//!   slicing, replacing the `bytes` crate so the workspace builds with no
+//!   external dependencies.
 //! * [`codec`] — the explicit serialization boundary. Every value that crosses
-//!   an executor boundary is encoded into [`bytes::Bytes`] through this module,
+//!   an executor boundary is encoded into [`ByteBuf`] through this module,
 //!   so serialized-byte counts (the quantity In-Memory Merge optimizes) are
 //!   observable everywhere.
+//! * [`sync`] — std-only locks (poison-recovering, see the module's
+//!   convention note), a reentrant mutex, and the unbounded MPMC channel the
+//!   transports and executor work queues run on.
 //! * [`profile`] — network profiles: latency/bandwidth of intra-node and
 //!   inter-node links, single-stream (per-channel) caps, NIC line rate, and
 //!   per-transport software overheads. Presets reproduce the paper's two
@@ -33,13 +40,16 @@
 
 pub mod bench;
 pub mod blockmanager;
+pub mod bytebuf;
 pub mod codec;
 pub mod error;
 pub mod profile;
+pub mod sync;
 pub mod time;
 pub mod topology;
 pub mod transport;
 
+pub use bytebuf::{ByteBuf, ByteBufMut};
 pub use codec::{Decoder, Encoder, Payload};
 pub use error::NetError;
 pub use profile::{LinkProfile, NetProfile, TransportKind};

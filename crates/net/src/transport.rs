@@ -23,9 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use crate::bytebuf::ByteBuf;
+use crate::sync::{channel, Mutex, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::{NetError, NetResult};
 use crate::profile::{NetProfile, TransportKind};
@@ -39,9 +38,9 @@ pub trait Transport: Send + Sync {
     /// Number of parallel channels per directed pair.
     fn channels(&self) -> usize;
     /// Asynchronously sends `msg` on `channel` from `from` to `to`.
-    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: Bytes) -> NetResult<()>;
+    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()>;
     /// Blocks until a message from `from` on `channel` is delivered to `at`.
-    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<Bytes>;
+    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<ByteBuf>;
     /// Like [`Transport::recv`] with an upper bound on the wait.
     fn recv_timeout(
         &self,
@@ -49,7 +48,7 @@ pub trait Transport: Send + Sync {
         from: ExecutorId,
         channel: usize,
         timeout: Duration,
-    ) -> NetResult<Bytes>;
+    ) -> NetResult<ByteBuf>;
 }
 
 /// Running totals maintained by a transport.
@@ -72,7 +71,7 @@ pub struct NetStatsSnapshot {
 
 struct InFlight {
     deliver_at: Instant,
-    payload: Bytes,
+    payload: ByteBuf,
 }
 
 /// Fully-connected shaped mesh over in-process channels.
@@ -119,7 +118,7 @@ impl MeshTransport {
         let mut rx = Vec::with_capacity(n * n * channels);
         let mut stream_busy = Vec::with_capacity(n * n * channels);
         for _ in 0..n * n * channels {
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             tx.push(s);
             rx.push(r);
             stream_busy.push(Mutex::new(now));
@@ -247,7 +246,7 @@ impl Transport for MeshTransport {
         self.channels
     }
 
-    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: Bytes) -> NetResult<()> {
+    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()> {
         let idx = self.idx(from, to, channel)?;
         let nbytes = msg.len();
         let deliver_at = self.schedule(idx, from, to, nbytes);
@@ -262,7 +261,7 @@ impl Transport for MeshTransport {
             .map_err(|_| NetError::Disconnected)
     }
 
-    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<Bytes> {
+    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<ByteBuf> {
         let idx = self.idx(from, at, channel)?;
         let m = self.rx[idx].recv().map_err(|_| NetError::Disconnected)?;
         wait_until(m.deliver_at);
@@ -275,7 +274,7 @@ impl Transport for MeshTransport {
         from: ExecutorId,
         channel: usize,
         timeout: Duration,
-    ) -> NetResult<Bytes> {
+    ) -> NetResult<ByteBuf> {
         let idx = self.idx(from, at, channel)?;
         let m = self.rx[idx].recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
@@ -306,11 +305,11 @@ impl Endpoint {
         self.net.channels()
     }
 
-    pub fn send(&self, to: ExecutorId, channel: usize, msg: Bytes) -> NetResult<()> {
+    pub fn send(&self, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()> {
         self.net.send(self.me, to, channel, msg)
     }
 
-    pub fn recv(&self, from: ExecutorId, channel: usize) -> NetResult<Bytes> {
+    pub fn recv(&self, from: ExecutorId, channel: usize) -> NetResult<ByteBuf> {
         self.net.recv(self.me, from, channel)
     }
 
@@ -319,7 +318,7 @@ impl Endpoint {
         from: ExecutorId,
         channel: usize,
         timeout: Duration,
-    ) -> NetResult<Bytes> {
+    ) -> NetResult<ByteBuf> {
         self.net.recv_timeout(self.me, from, channel, timeout)
     }
 }
@@ -338,7 +337,7 @@ mod tests {
     fn unshaped_send_recv_roundtrip() {
         let execs = two_execs();
         let net = MeshTransport::unshaped(&execs, 2);
-        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"hello"))
+        net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"hello"))
             .unwrap();
         let got = net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
         assert_eq!(&got[..], b"hello");
@@ -348,11 +347,11 @@ mod tests {
     fn channels_are_independent_fifos() {
         let execs = two_execs();
         let net = MeshTransport::unshaped(&execs, 2);
-        net.send(ExecutorId(0), ExecutorId(1), 1, Bytes::from_static(b"ch1"))
+        net.send(ExecutorId(0), ExecutorId(1), 1, ByteBuf::from_static(b"ch1"))
             .unwrap();
-        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"ch0-a"))
+        net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"ch0-a"))
             .unwrap();
-        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"ch0-b"))
+        net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"ch0-b"))
             .unwrap();
         assert_eq!(&net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()[..], b"ch0-a");
         assert_eq!(&net.recv(ExecutorId(1), ExecutorId(0), 1).unwrap()[..], b"ch1");
@@ -364,7 +363,7 @@ mod tests {
         let execs = two_execs();
         let net = MeshTransport::unshaped(&execs, 1);
         assert!(matches!(
-            net.send(ExecutorId(0), ExecutorId(5), 0, Bytes::new()),
+            net.send(ExecutorId(0), ExecutorId(5), 0, ByteBuf::new()),
             Err(NetError::InvalidAddress(_))
         ));
         assert!(matches!(
@@ -393,7 +392,7 @@ mod tests {
         let execs = two_execs();
         let net = MeshTransport::new(&execs, 1, profile, TransportKind::MpiRef);
         let start = Instant::now();
-        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from_static(b"x"))
+        net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"x"))
             .unwrap();
         net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
         let elapsed = start.elapsed();
@@ -410,7 +409,7 @@ mod tests {
         let execs = two_execs();
         let net = MeshTransport::new(&execs, 1, profile, TransportKind::MpiRef);
         let start = Instant::now();
-        let payload = Bytes::from(vec![0u8; 10_000]);
+        let payload = ByteBuf::from(vec![0u8; 10_000]);
         net.send(ExecutorId(0), ExecutorId(1), 0, payload.clone()).unwrap();
         net.send(ExecutorId(0), ExecutorId(1), 0, payload).unwrap();
         net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
@@ -429,7 +428,7 @@ mod tests {
         let execs = round_robin_layout(1, 2, 1); // both executors on node 0
         let net = MeshTransport::new(&execs, 1, profile, TransportKind::MpiRef);
         let start = Instant::now();
-        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from(vec![0u8; 1 << 20]))
+        net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from(vec![0u8; 1 << 20]))
             .unwrap();
         net.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
         assert!(start.elapsed() < Duration::from_millis(50));
@@ -450,7 +449,7 @@ mod tests {
         let start = Instant::now();
         // Executors 1..4 all send 10 KB to executor 0 (node 0).
         for src in 1..5u32 {
-            net.send(ExecutorId(src), ExecutorId(0), 0, Bytes::from(vec![0u8; 10_000]))
+            net.send(ExecutorId(src), ExecutorId(0), 0, ByteBuf::from(vec![0u8; 10_000]))
                 .unwrap();
         }
         for src in 1..5u32 {
@@ -467,8 +466,8 @@ mod tests {
         let execs = round_robin_layout(2, 2, 1); // 4 executors, 2 nodes round-robin
         let net = MeshTransport::unshaped(&execs, 1);
         // exec0 (node0) -> exec2 (node0): intra. exec0 -> exec1 (node1): inter.
-        net.send(ExecutorId(0), ExecutorId(2), 0, Bytes::from(vec![0; 10])).unwrap();
-        net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from(vec![0; 7])).unwrap();
+        net.send(ExecutorId(0), ExecutorId(2), 0, ByteBuf::from(vec![0; 10])).unwrap();
+        net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from(vec![0; 7])).unwrap();
         let s = net.stats();
         assert_eq!(s.messages, 2);
         assert_eq!(s.bytes, 17);
@@ -488,7 +487,7 @@ mod tests {
             }
         });
         for i in 0..100u32 {
-            net.send(ExecutorId(0), ExecutorId(1), 0, Bytes::from(i.to_le_bytes().to_vec()))
+            net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from(i.to_le_bytes().to_vec()))
                 .unwrap();
             let back = net.recv(ExecutorId(0), ExecutorId(1), 0).unwrap();
             assert_eq!(u32::from_le_bytes(back[..].try_into().unwrap()), i);
@@ -502,7 +501,7 @@ mod tests {
         let net = MeshTransport::unshaped(&execs, 1);
         let a = Endpoint::new(net.clone(), ExecutorId(0));
         let b = Endpoint::new(net, ExecutorId(1));
-        a.send(b.id(), 0, Bytes::from_static(b"ping")).unwrap();
+        a.send(b.id(), 0, ByteBuf::from_static(b"ping")).unwrap();
         assert_eq!(&b.recv(a.id(), 0).unwrap()[..], b"ping");
         assert_eq!(a.id(), ExecutorId(0));
         assert_eq!(a.channels(), 1);

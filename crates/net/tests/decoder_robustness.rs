@@ -4,17 +4,20 @@
 //! tags, absurd length prefixes) must surface as `NetError::Codec`, never a
 //! panic or an attempted huge allocation.
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use sparker_testkit::{check, tk_assert, Config};
 
 use sparker_net::codec::{Decoder, F64Array, Payload};
+use sparker_net::ByteBuf;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+fn cfg() -> Config {
+    Config::with_cases(256)
+}
 
-    #[test]
-    fn arbitrary_bytes_never_panic_any_decoder(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let frame = Bytes::from(data);
+#[test]
+fn arbitrary_bytes_never_panic_any_decoder() {
+    check(&cfg(), |src| {
+        let data = src.vec_of(0..256, |s| s.u8_any());
+        let frame = ByteBuf::from(data);
         // Every decoder entry point: Err is fine, panic is not.
         let _ = u32::from_frame(frame.clone());
         let _ = u64::from_frame(frame.clone());
@@ -30,38 +33,51 @@ proptest! {
         let _ = dec.get_u32_vec();
         let _ = dec.get_u64_vec();
         let _ = dec.get_f64_vec();
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn truncated_valid_frames_error_cleanly(
-        values in proptest::collection::vec(any::<f64>(), 1..50),
-        cut_fraction in 0.0f64..1.0,
-    ) {
+#[test]
+fn truncated_valid_frames_error_cleanly() {
+    check(&cfg(), |src| {
+        let values = src.vec_of(1..50, |s| s.f64_any());
+        let cut_fraction = src.f64_in(0.0..1.0);
         let full = F64Array(values).to_frame();
         let cut = ((full.len() as f64) * cut_fraction) as usize;
         if cut < full.len() {
             let truncated = full.slice(0..cut);
-            prop_assert!(F64Array::from_frame(truncated).is_err());
+            tk_assert!(
+                F64Array::from_frame(truncated).is_err(),
+                "truncation to {cut}/{} bytes decoded successfully",
+                full.len()
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn frames_with_trailing_garbage_are_rejected(
-        value in any::<u64>(),
-        garbage in proptest::collection::vec(any::<u8>(), 1..32),
-    ) {
+#[test]
+fn frames_with_trailing_garbage_are_rejected() {
+    check(&cfg(), |src| {
+        let value = src.u64_any();
+        let garbage = src.vec_of(1..32, |s| s.u8_any());
         let mut bytes = value.to_frame().to_vec();
         bytes.extend(garbage);
-        prop_assert!(u64::from_frame(Bytes::from(bytes)).is_err());
-    }
+        tk_assert!(u64::from_frame(ByteBuf::from(bytes)).is_err());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn length_prefix_larger_than_frame_is_rejected(len in 9u64..u64::MAX) {
+#[test]
+fn length_prefix_larger_than_frame_is_rejected() {
+    check(&cfg(), |src| {
+        let len = src.u64_in(9..u64::MAX);
         // A frame claiming `len` elements but containing none.
         let mut enc = sparker_net::codec::Encoder::new();
         enc.put_u64(len);
         let frame = enc.finish();
-        prop_assert!(F64Array::from_frame(frame.clone()).is_err());
-        prop_assert!(Vec::<u64>::from_frame(frame).is_err());
-    }
+        tk_assert!(F64Array::from_frame(frame.clone()).is_err(), "len {len} accepted");
+        tk_assert!(Vec::<u64>::from_frame(frame).is_err(), "len {len} accepted");
+        Ok(())
+    });
 }

@@ -1,18 +1,19 @@
 //! Property tests on the network-profile algebra: scaling must preserve
 //! byte·time products, and derived quantities must stay physical.
 
-use proptest::prelude::*;
+use sparker_testkit::{check, tk_assert, Config};
 
 use sparker_net::profile::{NetProfile, TransportKind};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+fn cfg() -> Config {
+    Config::with_cases(128)
+}
 
-    #[test]
-    fn scaling_preserves_byte_time_products(
-        factor in 0.01f64..100.0,
-        bytes in 1usize..100_000_000,
-    ) {
+#[test]
+fn scaling_preserves_byte_time_products() {
+    check(&cfg(), |src| {
+        let factor = src.f64_in(0.01..100.0);
+        let bytes = src.usize_in(1..100_000_000);
         for p in [NetProfile::bic(), NetProfile::aws()] {
             let s = p.scaled(factor);
             // Equivalent message in the scaled domain.
@@ -21,7 +22,7 @@ proptest! {
             let t_scaled = s.inter_node.serialization_delay(scaled_bytes).as_secs_f64();
             // Integer truncation of scaled_bytes bounds the error.
             let tolerance = (1.0 / (s.inter_node.bandwidth)).max(1e-12) + t_full * 1e-6;
-            prop_assert!(
+            tk_assert!(
                 (t_full - t_scaled).abs() <= tolerance + 1e-9,
                 "factor {factor}, bytes {bytes}: {t_full} vs {t_scaled}"
             );
@@ -29,38 +30,52 @@ proptest! {
             // so allow 1 ns of absolute slack).
             let want = p.inter_node.latency.as_secs_f64() * factor;
             let got = s.inter_node.latency.as_secs_f64();
-            prop_assert!((got - want).abs() <= 1e-9 + want * 1e-9, "{got} vs {want}");
+            tk_assert!((got - want).abs() <= 1e-9 + want * 1e-9, "{got} vs {want}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parallel_bandwidth_is_monotone_and_capped(channels in 1usize..32) {
+#[test]
+fn parallel_bandwidth_is_monotone_and_capped() {
+    check(&cfg(), |src| {
+        let channels = src.usize_in(1..32);
         for p in [NetProfile::bic(), NetProfile::aws()] {
             for kind in [TransportKind::ScalableComm, TransportKind::BlockManager] {
                 let bw = p.parallel_bandwidth(kind, channels);
                 let bw_next = p.parallel_bandwidth(kind, channels + 1);
-                prop_assert!(bw_next >= bw, "more channels can't hurt");
-                prop_assert!(bw <= p.nic_bandwidth, "NIC caps the sum");
-                prop_assert!(bw > 0.0);
+                tk_assert!(bw_next >= bw, "more channels can't hurt");
+                tk_assert!(bw <= p.nic_bandwidth, "NIC caps the sum");
+                tk_assert!(bw > 0.0, "bandwidth must stay positive");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn latency_ordering_is_stable_under_scaling(factor in 0.01f64..100.0) {
+#[test]
+fn latency_ordering_is_stable_under_scaling() {
+    check(&cfg(), |src| {
+        let factor = src.f64_in(0.01..100.0);
         let p = NetProfile::bic().scaled(factor);
         let mpi = p.one_way_latency(TransportKind::MpiRef);
         let sc = p.one_way_latency(TransportKind::ScalableComm);
         let bm = p.one_way_latency(TransportKind::BlockManager);
-        prop_assert!(mpi < sc, "MPI < SC at any scale");
-        prop_assert!(sc < bm, "SC < BM at any scale");
-    }
+        tk_assert!(mpi < sc, "MPI < SC at any scale");
+        tk_assert!(sc < bm, "SC < BM at any scale");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn transfer_time_is_monotone_in_bytes(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+#[test]
+fn transfer_time_is_monotone_in_bytes() {
+    check(&cfg(), |src| {
+        let a = src.usize_in(0..1_000_000);
+        let b = src.usize_in(0..1_000_000);
         let p = NetProfile::bic();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(p.inter_node.transfer_time(lo) <= p.inter_node.transfer_time(hi));
-        prop_assert!(p.intra_node.transfer_time(lo) <= p.intra_node.transfer_time(hi));
-    }
+        tk_assert!(p.inter_node.transfer_time(lo) <= p.inter_node.transfer_time(hi));
+        tk_assert!(p.intra_node.transfer_time(lo) <= p.intra_node.transfer_time(hi));
+        Ok(())
+    });
 }

@@ -20,6 +20,34 @@
 //!   (Figures 12–13).
 //! * [`mlrun`] — end-to-end training-loop model for the nine Table 2 × 3
 //!   workloads (Figures 1–4, 17, 18).
+//! * [`workloads`] — the Table 2 × Table 3 workload grid (dataset profile ×
+//!   model) the figure binaries sweep, with the paper-anchored cost
+//!   constants of the calibration ledger (EXPERIMENTS.md).
+//!
+//! The event engine is exact for uncontended chains — useful as a sanity
+//! anchor before trusting contended runs:
+//!
+//! ```
+//! use sparker_sim::des::{DesParams, OpGraph};
+//!
+//! let params = DesParams {
+//!     executors: 1,
+//!     cores_per_executor: 1,
+//!     node_of_executor: vec![0],
+//!     nodes: 1,
+//!     stream_bandwidth: 1000.0,
+//!     nic_bandwidth: 2000.0,
+//!     intra_bandwidth: 10_000.0,
+//!     latency: 0.01,
+//!     intra_latency: 0.001,
+//! };
+//! let mut g = OpGraph::new();
+//! let a = g.compute(0, 1.0, vec![]);
+//! let b = g.compute(0, 2.0, vec![a]);
+//! let r = g.run(&params);
+//! assert!((r.finish[b] - 3.0).abs() < 1e-9);
+//! assert!((r.makespan - 3.0).abs() < 1e-9);
+//! ```
 
 pub mod aggsim;
 pub mod cluster;

@@ -1,0 +1,169 @@
+//! [`Source`]: the choice stream a property draws its random values from.
+//!
+//! Every draw consumes exactly one recorded `u64` choice, and each generator
+//! maps the all-zero choice to its simplest value (range minimum, empty vec,
+//! `0.0`, `false`). Both facts are load-bearing for shrinking: the harness
+//! minimizes the recorded `u64`s, and "smaller choices" must mean "simpler
+//! values" for the reported counterexample to be minimal.
+
+use crate::rng::SplitMix64;
+use std::ops::Range;
+
+enum Mode {
+    /// Fresh generation: draws beyond any prefix come from the RNG.
+    Random(SplitMix64),
+    /// Shrink replay: draws beyond the recorded prefix come back as 0.
+    Replay,
+}
+
+/// A recorded stream of `u64` choices; the sole argument to a property.
+pub struct Source {
+    mode: Mode,
+    prefix: Vec<u64>,
+    drawn: Vec<u64>,
+}
+
+impl Source {
+    pub(crate) fn random(seed: u64) -> Self {
+        Self { mode: Mode::Random(SplitMix64::new(seed)), prefix: Vec::new(), drawn: Vec::new() }
+    }
+
+    pub(crate) fn replay(prefix: Vec<u64>) -> Self {
+        Self { mode: Mode::Replay, prefix, drawn: Vec::new() }
+    }
+
+    pub(crate) fn into_drawn(self) -> Vec<u64> {
+        self.drawn
+    }
+
+    fn next_raw(&mut self) -> u64 {
+        let i = self.drawn.len();
+        let v = if i < self.prefix.len() {
+            self.prefix[i]
+        } else {
+            match &mut self.mode {
+                Mode::Random(rng) => rng.next_u64(),
+                Mode::Replay => 0,
+            }
+        };
+        self.drawn.push(v);
+        v
+    }
+
+    /// A uniform `u64`.
+    pub fn u64_any(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    /// A `u64` in `[range.start, range.end)`. Shrinks toward `range.start`.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "u64_in: empty range {range:?}");
+        let span = range.end - range.start;
+        range.start + self.next_raw() % span
+    }
+
+    /// A `usize` in `[range.start, range.end)`. Shrinks toward `range.start`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `u32`.
+    pub fn u32_any(&mut self) -> u32 {
+        self.next_raw() as u32
+    }
+
+    /// A uniform `u8`.
+    pub fn u8_any(&mut self) -> u8 {
+        self.next_raw() as u8
+    }
+
+    /// A uniform `i64`. Shrinks toward 0 (choice 0 maps to 0).
+    pub fn i64_any(&mut self) -> i64 {
+        // Zig-zag decode so small choices mean small magnitudes.
+        let raw = self.next_raw();
+        ((raw >> 1) as i64) ^ -((raw & 1) as i64)
+    }
+
+    /// `true` or `false`; choice 0 maps to `false`.
+    pub fn bool_any(&mut self) -> bool {
+        self.next_raw() & 1 == 1
+    }
+
+    /// An arbitrary `f64` bit pattern — includes NaN, infinities and
+    /// subnormals. Choice 0 maps to `0.0`.
+    pub fn f64_any(&mut self) -> f64 {
+        f64::from_bits(self.next_raw())
+    }
+
+    /// A finite `f64` in `[range.start, range.end)`. Shrinks toward
+    /// `range.start`.
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "f64_in: empty range {range:?}");
+        // 53 mantissa bits of uniform fraction in [0, 1).
+        let frac = (self.next_raw() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + (range.end - range.start) * frac
+    }
+
+    /// A vec with length drawn from `len` and elements from `gen`.
+    pub fn vec_of<T>(&mut self, len: Range<usize>, mut gen: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| gen(self)).collect()
+    }
+
+    /// One element of `items`, cloned. Choice 0 maps to `items[0]`.
+    pub fn choose<T: Clone>(&mut self, items: &[T]) -> T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        items[self.usize_in(0..items.len())].clone()
+    }
+
+    /// A string with char count drawn from `len`, over a palette that mixes
+    /// ASCII with multi-byte chars so codec tests exercise non-trivial UTF-8.
+    pub fn string_of(&mut self, len: Range<usize>) -> String {
+        const PALETTE: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', ',', ':', '"', '\\', '\t',
+            'é', 'ü', 'ß', 'λ', 'Ω', '中', '文', '🚀', '🧪', '\u{0}', '\u{7f}', '\u{80}',
+        ];
+        let n = self.usize_in(len);
+        (0..n).map(|_| self.choose(PALETTE)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_choices_map_to_simplest_values() {
+        let mut s = Source::replay(Vec::new());
+        assert_eq!(s.u64_in(3..10), 3);
+        assert_eq!(s.usize_in(5..6), 5);
+        assert_eq!(s.i64_any(), 0);
+        assert!(!s.bool_any());
+        assert_eq!(s.f64_any(), 0.0);
+        assert_eq!(s.f64_in(-2.5..7.0), -2.5);
+        assert!(s.vec_of(0..4, |s| s.u8_any()).is_empty());
+        assert_eq!(s.choose(&[10, 20, 30]), 10);
+        assert_eq!(s.string_of(0..8), "");
+    }
+
+    #[test]
+    fn replay_reproduces_recording() {
+        let mut a = Source::random(7);
+        let xs: Vec<i64> = (0..16).map(|_| a.i64_any()).collect();
+        let rec = a.into_drawn();
+        let mut b = Source::replay(rec);
+        let ys: Vec<i64> = (0..16).map(|_| b.i64_any()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut s = Source::random(99);
+        for _ in 0..200 {
+            let v = s.usize_in(2..17);
+            assert!((2..17).contains(&v));
+            let f = s.f64_in(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! * the codec round-trips arbitrary payloads;
 //! * `slice_bounds` tiles any length exactly.
 
-use proptest::prelude::*;
+use sparker_testkit::{check, tk_assert, tk_assert_eq, Config, Source};
 
 use sparker::collectives::allreduce::ring_allreduce;
 use sparker::collectives::gather::gather_segments;
@@ -14,6 +14,14 @@ use sparker::collectives::halving::recursive_halving_reduce_scatter;
 use sparker::collectives::ring::ring_reduce_scatter;
 use sparker::collectives::testing::{run_ring_cluster, RingClusterSpec};
 use sparker::prelude::*;
+
+fn cfg() -> Config {
+    Config::with_cases(12)
+}
+
+fn arb_base(src: &mut Source, max_len: usize) -> Vec<i64> {
+    src.vec_of(1..max_len, |s| s.i64_any())
+}
 
 /// Per-rank input: rank r's segment g holds `values[g]` shifted by rank.
 fn seed(rank: usize, values: &[i64]) -> Vec<U64SumSegment> {
@@ -29,16 +37,13 @@ fn expected(g: usize, values: &[i64], n: usize) -> u64 {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
-
-    #[test]
-    fn ring_reduce_scatter_equals_sequential(
-        nodes in 1usize..4,
-        epn in 1usize..3,
-        parallelism in 1usize..4,
-        base in proptest::collection::vec(any::<i64>(), 1..6),
-    ) {
+#[test]
+fn ring_reduce_scatter_equals_sequential() {
+    check(&cfg(), |src| {
+        let nodes = src.usize_in(1..4);
+        let epn = src.usize_in(1..3);
+        let parallelism = src.usize_in(1..4);
+        let base = arb_base(src, 6);
         let spec = RingClusterSpec::unshaped(nodes, epn, parallelism);
         let n = spec.total_executors();
         let total = parallelism * n;
@@ -52,25 +57,29 @@ proptest! {
         let mut seen = vec![false; total];
         for owned in &per_rank {
             for o in owned {
-                prop_assert!(!seen[o.index]);
+                tk_assert!(!seen[o.index], "segment {} owned twice", o.index);
                 seen[o.index] = true;
-                prop_assert_eq!(o.segment.0[0], expected(o.index, &values, n));
+                tk_assert_eq!(o.segment.0[0], expected(o.index, &values, n));
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        tk_assert!(seen.iter().all(|&s| s), "not all segments owned: {seen:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn halving_reduce_scatter_equals_sequential(
-        nodes in 1usize..3,
-        epn in 1usize..4,
-        mult in 1usize..4,
-        base in proptest::collection::vec(any::<i64>(), 1..6),
-    ) {
+#[test]
+fn halving_reduce_scatter_equals_sequential() {
+    check(&cfg(), |src| {
+        let nodes = src.usize_in(1..3);
+        let epn = src.usize_in(1..4);
+        let mult = src.usize_in(1..4);
+        let base = arb_base(src, 6);
         let spec = RingClusterSpec::unshaped(nodes, epn, 1);
         let n = spec.total_executors();
         let mut p2 = 1usize;
-        while p2 * 2 <= n { p2 *= 2; }
+        while p2 * 2 <= n {
+            p2 *= 2;
+        }
         let total = p2 * mult;
         let values: Vec<i64> = (0..total).map(|i| base[i % base.len()]).collect();
         let v2 = values.clone();
@@ -81,20 +90,22 @@ proptest! {
         let mut seen = vec![false; total];
         for owned in &per_rank {
             for o in owned {
-                prop_assert!(!seen[o.index]);
+                tk_assert!(!seen[o.index], "segment {} owned twice", o.index);
                 seen[o.index] = true;
-                prop_assert_eq!(o.segment.0[0], expected(o.index, &values, n));
+                tk_assert_eq!(o.segment.0[0], expected(o.index, &values, n));
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        tk_assert!(seen.iter().all(|&s| s), "not all segments owned: {seen:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn allreduce_agrees_on_every_rank(
-        epn in 1usize..5,
-        parallelism in 1usize..3,
-        base in proptest::collection::vec(any::<i64>(), 1..4),
-    ) {
+#[test]
+fn allreduce_agrees_on_every_rank() {
+    check(&cfg(), |src| {
+        let epn = src.usize_in(1..5);
+        let parallelism = src.usize_in(1..3);
+        let base = arb_base(src, 4);
         let spec = RingClusterSpec::unshaped(1, epn, parallelism);
         let n = spec.total_executors();
         let total = parallelism * n;
@@ -105,18 +116,20 @@ proptest! {
             ring_allreduce(&comm, segs).unwrap()
         });
         for result in &per_rank {
-            prop_assert_eq!(result.len(), total);
+            tk_assert_eq!(result.len(), total);
             for (g, seg) in result.iter().enumerate() {
-                prop_assert_eq!(seg.0[0], expected(g, &values, n));
+                tk_assert_eq!(seg.0[0], expected(g, &values, n));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reduce_scatter_then_gather_is_full_reduction(
-        epn in 2usize..5,
-        base in proptest::collection::vec(any::<i64>(), 1..4),
-    ) {
+#[test]
+fn reduce_scatter_then_gather_is_full_reduction() {
+    check(&cfg(), |src| {
+        let epn = src.usize_in(2..5);
+        let base = arb_base(src, 4);
         let spec = RingClusterSpec::unshaped(1, epn, 1);
         let n = spec.total_executors();
         let values: Vec<i64> = (0..n).map(|i| base[i % base.len()]).collect();
@@ -128,44 +141,56 @@ proptest! {
         });
         let segs = results[0].as_ref().unwrap();
         for (g, seg) in segs.iter().enumerate() {
-            prop_assert_eq!(seg.0[0], expected(g, &values, n));
+            tk_assert_eq!(seg.0[0], expected(g, &values, n));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn codec_roundtrips_arbitrary_floats(data in proptest::collection::vec(any::<f64>(), 0..200)) {
+#[test]
+fn codec_roundtrips_arbitrary_floats() {
+    check(&cfg(), |src| {
+        let data = src.vec_of(0..200, |s| s.f64_any());
         let arr = F64Array(data.clone());
         let back = F64Array::from_frame(arr.to_frame()).unwrap();
-        prop_assert_eq!(back.0.len(), data.len());
+        tk_assert_eq!(back.0.len(), data.len());
         for (a, b) in back.0.iter().zip(&data) {
-            prop_assert_eq!(a.to_bits(), b.to_bits(), "bitwise identical, NaNs included");
+            tk_assert_eq!(a.to_bits(), b.to_bits(), "bitwise identical, NaNs included");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn codec_roundtrips_nested_payloads(
-        items in proptest::collection::vec((any::<u32>(), any::<f64>()), 0..50),
-        label in ".{0,32}",
-    ) {
+#[test]
+fn codec_roundtrips_nested_payloads() {
+    check(&cfg(), |src| {
+        let items = src.vec_of(0..50, |s| (s.u32_any(), s.f64_any()));
+        let label = src.string_of(0..33);
         let value = (label.clone(), items.clone());
         let back = <(String, Vec<(u32, f64)>)>::from_frame(value.to_frame()).unwrap();
-        prop_assert_eq!(back.0, label);
-        prop_assert_eq!(back.1.len(), items.len());
+        tk_assert_eq!(back.0, label);
+        tk_assert_eq!(back.1.len(), items.len());
         for ((ai, af), (bi, bf)) in back.1.iter().zip(&items) {
-            prop_assert_eq!(ai, bi);
-            prop_assert_eq!(af.to_bits(), bf.to_bits());
+            tk_assert_eq!(ai, bi);
+            tk_assert_eq!(af.to_bits(), bf.to_bits());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn slice_bounds_tile_exactly(len in 0usize..5000, n in 1usize..64) {
+#[test]
+fn slice_bounds_tile_exactly() {
+    check(&cfg(), |src| {
+        let len = src.usize_in(0..5000);
+        let n = src.usize_in(1..64);
         let mut prev_end = 0;
         for i in 0..n {
             let (s, e) = slice_bounds(len, i, n);
-            prop_assert_eq!(s, prev_end);
-            prop_assert!(e >= s);
+            tk_assert_eq!(s, prev_end);
+            tk_assert!(e >= s, "segment {i} has negative extent");
             prev_end = e;
         }
-        prop_assert_eq!(prev_end, len);
-    }
+        tk_assert_eq!(prev_end, len);
+        Ok(())
+    });
 }

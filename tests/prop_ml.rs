@@ -3,7 +3,9 @@
 //! Tree+IMM and Split training runs must agree to floating-point noise, and
 //! libsvm round trips must be lossless.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use sparker_testkit::{check, tk_assert, tk_assert_eq, Config, Source};
 
 use sparker::data::libsvm;
 use sparker::data::synth::SparseExample;
@@ -11,29 +13,35 @@ use sparker::ml::glm::{run_gradient_descent, GdConfig, GradientKind};
 use sparker::ml::point::LabeledPoint;
 use sparker::prelude::*;
 
-/// Strategy for a random sparse sample over `dim` features.
-fn arb_point(dim: usize) -> impl Strategy<Value = LabeledPoint> {
-    (
-        prop_oneof![Just(1.0f64), Just(-1.0f64)],
-        proptest::collection::btree_set(0..dim as u32, 1..(dim / 2).max(2)),
-        proptest::collection::vec(-3.0f64..3.0, 64),
-    )
-        .prop_map(|(label, idx, vals)| {
-            let indices: Vec<u32> = idx.into_iter().collect();
-            let values: Vec<f64> =
-                indices.iter().enumerate().map(|(i, _)| vals[i % vals.len()]).collect();
-            LabeledPoint::new(label, indices, values)
-        })
+fn cfg() -> Config {
+    Config::with_cases(8)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+/// A random sparse sample over `dim` features: ±1 label, a non-empty
+/// strictly-increasing index set, and bounded values.
+fn arb_point(src: &mut Source, dim: usize) -> LabeledPoint {
+    let label = src.choose(&[1.0f64, -1.0f64]);
+    let size = src.usize_in(1..(dim / 2).max(2));
+    let mut idx = BTreeSet::new();
+    // Draw with rejection into a set, but bound the attempts: during shrink
+    // replay an exhausted choice stream yields 0 forever, so an unbounded
+    // loop would never terminate. The set may come up short then; any
+    // non-empty subset is still a valid sparse point.
+    let mut attempts = 0;
+    while idx.len() < size && attempts < size * 8 {
+        idx.insert(src.usize_in(0..dim) as u32);
+        attempts += 1;
+    }
+    let vals: Vec<f64> = (0..idx.len()).map(|_| src.f64_in(-3.0..3.0)).collect();
+    let indices: Vec<u32> = idx.into_iter().collect();
+    LabeledPoint::new(label, indices, vals)
+}
 
-    #[test]
-    fn training_is_strategy_invariant(
-        points in proptest::collection::vec(arb_point(24), 8..60),
-        kind in prop_oneof![Just(GradientKind::Logistic), Just(GradientKind::Hinge)],
-    ) {
+#[test]
+fn training_is_strategy_invariant() {
+    check(&cfg(), |src| {
+        let points = src.vec_of(8..60, |s| arb_point(s, 24));
+        let kind = src.choose(&[GradientKind::Logistic, GradientKind::Hinge]);
         let dim = 24;
         let cluster = LocalCluster::local(3, 2);
         let ds = cluster.parallelize(points, 5);
@@ -44,35 +52,38 @@ proptest! {
         let (w_split, _) =
             run_gradient_descent(&ds, dim, kind, cfg(AggregationMode::split())).unwrap();
         for i in 0..dim {
-            prop_assert!((w_tree[i] - w_imm[i]).abs() < 1e-9, "imm differs at {i}");
-            prop_assert!((w_tree[i] - w_split[i]).abs() < 1e-9, "split differs at {i}");
+            tk_assert!((w_tree[i] - w_imm[i]).abs() < 1e-9, "imm differs at {i}");
+            tk_assert!((w_tree[i] - w_split[i]).abs() < 1e-9, "split differs at {i}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn libsvm_roundtrip_is_lossless(
-        examples in proptest::collection::vec(
-            (
-                prop_oneof![Just(1.0f64), Just(-1.0f64)],
-                proptest::collection::btree_map(0u32..500, -100.0f64..100.0, 0..20),
-            )
-                .prop_map(|(label, m)| {
-                    let (indices, values): (Vec<u32>, Vec<f64>) = m.into_iter().unzip();
-                    SparseExample { label, indices, values }
-                }),
-            0..30,
-        ),
-    ) {
+#[test]
+fn libsvm_roundtrip_is_lossless() {
+    check(&cfg(), |src| {
+        let examples = src.vec_of(0..30, |s| {
+            let label = s.choose(&[1.0f64, -1.0f64]);
+            let size = s.usize_in(0..20);
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..size {
+                m.insert(s.usize_in(0..500) as u32, s.f64_in(-100.0..100.0));
+            }
+            let (indices, values): (Vec<u32>, Vec<f64>) = m.into_iter().unzip();
+            SparseExample { label, indices, values }
+        });
         let text = libsvm::write(&examples);
         let parsed = libsvm::parse(&text).unwrap();
-        prop_assert_eq!(parsed, examples);
-    }
+        tk_assert_eq!(parsed, examples);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gradient_accumulation_is_order_independent(
-        points in proptest::collection::vec(arb_point(16), 2..20),
-        w in proptest::collection::vec(-1.0f64..1.0, 16),
-    ) {
+#[test]
+fn gradient_accumulation_is_order_independent() {
+    check(&cfg(), |src| {
+        let points = src.vec_of(2..20, |s| arb_point(s, 16));
+        let w: Vec<f64> = (0..16).map(|_| src.f64_in(-1.0..1.0)).collect();
         // Summing sample gradients in any order gives the same totals (up
         // to fp reassociation on disjoint sparse supports, which is exact
         // for disjoint indices and near-exact otherwise).
@@ -85,7 +96,13 @@ proptest! {
             GradientKind::Logistic.accumulate(&w, p, &mut rev);
         }
         for i in 0..18 {
-            prop_assert!((fwd[i] - rev[i]).abs() <= 1e-9 * (1.0 + fwd[i].abs()));
+            tk_assert!(
+                (fwd[i] - rev[i]).abs() <= 1e-9 * (1.0 + fwd[i].abs()),
+                "order-dependent total at {i}: fwd={} rev={}",
+                fwd[i],
+                rev[i]
+            );
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Hermeticity gate: the workspace must build and test with zero network
+# access and zero external crates. Run from anywhere; part of tier-1 verify
+# (see README.md / DESIGN.md "Dependencies").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. Manifest audit — every dependency in every workspace manifest must be
+#    an in-repo path dependency, either directly (`path = ...`) or through
+#    `[workspace.dependencies]` (`workspace = true`, which the root maps to
+#    paths). Anything else is a registry/git dep and breaks offline builds.
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+  bad=$(awk '
+    /^\[/ { in_deps = ($0 ~ /dependencies(\]|\.)/) ; next }
+    in_deps && NF && $0 !~ /^[[:space:]]*#/ {
+      if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+        print
+    }
+  ' "$manifest")
+  if [ -n "$bad" ]; then
+    echo "ERROR: non-path dependency in $manifest:"
+    echo "$bad" | sed 's/^/    /'
+    fail=1
+  fi
+done
+
+# 2. Lockfile audit — no package may resolve to a registry or git source.
+if [ -f Cargo.lock ] && grep -q '^source = ' Cargo.lock; then
+  echo "ERROR: Cargo.lock contains non-path package sources:"
+  grep '^source = ' Cargo.lock | sort -u | sed 's/^/    /'
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "hermeticity audit FAILED (fix the manifests before building)"
+  exit 1
+fi
+
+# 3. The tier-1 commands themselves, forced offline. CARGO_NET_OFFLINE
+#    belt-and-braces the --offline flags so nothing can reach a registry
+#    even through a config override.
+export CARGO_NET_OFFLINE=true
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo build --offline --benches
+
+echo "hermetic check passed: built and tested fully offline, path-only deps"
