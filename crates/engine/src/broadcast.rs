@@ -77,7 +77,7 @@ impl LocalCluster {
         inner.run_stage(
             &format!("broadcast-op{op}"),
             &assignments,
-            move |_idx, ctx| {
+            move |_idx, _attempt, ctx| {
                 let frame = recv_inner.bm_recv(ctx.executor, driver_id)?;
                 let v = T::from_frame(frame).map_err(TaskFailure::from)?;
                 ctx.objects.merge_in(broadcast_slot(op), Arc::new(v), |a, b| *a = b);

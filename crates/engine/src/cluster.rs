@@ -16,15 +16,16 @@
 //! from all executors serializes through the driver NIC — the physical root
 //! of the paper's "reduction does not scale" observation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use sparker_net::ByteBuf;
-use sparker_net::sync::{channel, Receiver, Sender};
+use sparker_net::sync::{channel, Mutex, Receiver, Sender};
 
 use sparker_net::blockmanager::BlockManagerTransport;
 use sparker_net::error::NetError;
+use sparker_net::fault::FaultyTransport;
 use sparker_net::topology::{round_robin_layout, ExecutorId, ExecutorInfo, RingTopology};
 use sparker_net::transport::{MeshTransport, NetStatsSnapshot, Transport};
 
@@ -41,17 +42,12 @@ use crate::task::{EngineError, EngineResult, FaultPlan, TaskFailure};
 /// sweeps (Figure 14) go up to 8.
 pub const SC_CHANNELS: usize = 8;
 
-/// How long the driver waits for any task result before declaring the stage
-/// wedged (turns accidental deadlocks into test failures).
-const STAGE_TIMEOUT: Duration = Duration::from_secs(300);
-
-/// Maximum attempts per task (Spark's `spark.task.maxFailures` default).
-const MAX_ATTEMPTS: u32 = 4;
-
 type Job = Box<dyn FnOnce(&TaskContext) + Send>;
 
 struct ExecutorHandle {
-    queue: Sender<Job>,
+    /// Behind a mutex so [`LocalCluster::kill_executor`] can swap in a
+    /// closed sender, simulating a lost executor.
+    queue: Mutex<Sender<Job>>,
     ctx: TaskContext,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
@@ -63,6 +59,13 @@ pub enum RecoveryPolicy {
     /// Tasks share per-executor state under operation `op`: clear that
     /// state everywhere and resubmit the whole stage.
     ResubmitStage { op: u64 },
+    /// Tasks are a gang coupled through in-flight collective traffic (ring
+    /// reduce-scatter): any failure cancels the peers via the op's shared
+    /// token, drains both transports once every task has stopped, bumps the
+    /// epoch, and resubmits the whole stage. Unlike [`ResubmitStage`] the
+    /// per-executor inputs are *not* cleared — gang stages read them
+    /// non-destructively, and the poison lives only in in-flight frames.
+    ResubmitGang { op: u64 },
 }
 
 /// Shared cluster state; `LocalCluster` is a cheap handle around it.
@@ -71,10 +74,16 @@ pub struct ClusterInner {
     infos: Vec<ExecutorInfo>,
     driver: ExecutorId,
     sc: Arc<MeshTransport>,
+    /// The scalable communicator as collectives see it: the raw mesh, or the
+    /// mesh behind a [`FaultyTransport`] when the spec injects faults.
+    sc_dyn: Arc<dyn Transport>,
     bm: Arc<BlockManagerTransport>,
     executors: Vec<ExecutorHandle>,
     fault_plan: FaultPlan,
     op_counter: AtomicU64,
+    /// Shared cancel token per collective op: set on gang failure so peers
+    /// abort their fenced receives instead of waiting out the deadline.
+    gang_cancel: Mutex<HashMap<u64, Arc<AtomicBool>>>,
     /// Serializes driver-side actions: result frames from different
     /// operations share the per-executor→driver streams, so interleaved
     /// actions would steal each other's frames. Spark's driver similarly
@@ -123,6 +132,10 @@ impl LocalCluster {
             sparker_net::profile::TransportKind::MpiRef,
         );
         let bm = BlockManagerTransport::new(bm_wire, spec.bm_costs);
+        let sc_dyn: Arc<dyn Transport> = match &spec.sc_fault {
+            Some(plan) => FaultyTransport::new(sc.clone(), (**plan).clone()),
+            None => sc.clone(),
+        };
 
         let executors = infos.iter().map(spawn_executor).collect();
 
@@ -132,10 +145,12 @@ impl LocalCluster {
                 infos,
                 driver,
                 sc,
+                sc_dyn,
                 bm,
                 executors,
                 fault_plan: FaultPlan::new(),
                 op_counter: AtomicU64::new(1),
+                gang_cancel: Mutex::new(HashMap::new()),
                 action_guard: sparker_net::sync::ReentrantMutex::new(),
                 history: History::new(),
             }),
@@ -176,6 +191,14 @@ impl LocalCluster {
     pub fn history(&self) -> &History {
         &self.inner.history
     }
+
+    /// Simulates losing an executor: its task queue is closed, so queued
+    /// jobs drain, worker threads exit, and every later submission to it
+    /// fails through the normal recovery path (never a driver panic).
+    pub fn kill_executor(&self, id: ExecutorId) {
+        let (closed, _) = channel();
+        *self.inner.executors[id.index()].queue.lock() = closed;
+    }
 }
 
 fn spawn_executor(info: &ExecutorInfo) -> ExecutorHandle {
@@ -199,7 +222,7 @@ fn spawn_executor(info: &ExecutorInfo) -> ExecutorHandle {
                 .expect("spawn executor worker")
         })
         .collect();
-    ExecutorHandle { queue: tx, ctx, workers }
+    ExecutorHandle { queue: Mutex::new(tx), ctx, workers }
 }
 
 impl Drop for ClusterInner {
@@ -207,7 +230,7 @@ impl Drop for ClusterInner {
         // Close queues, then join workers so no threads outlive the cluster.
         for h in &mut self.executors {
             let (closed, _) = channel();
-            h.queue = closed; // drop the live sender
+            *h.queue.lock() = closed; // drop the live sender
         }
         for h in &mut self.executors {
             for w in h.workers.drain(..) {
@@ -261,10 +284,38 @@ impl ClusterInner {
         ))
     }
 
-    /// Binds the scalable communicator to `executor`'s rank in `ring`.
+    /// Binds the scalable communicator to `executor`'s rank in `ring`
+    /// (epoch `(0, 0)`, no cancellation — diagnostics and tests).
     pub fn ring_comm(&self, ring: &Arc<RingTopology>, executor: ExecutorId) -> RingComm {
         let rank = ring.rank_of(executor);
-        RingComm::new(self.sc.clone() as Arc<dyn Transport>, ring.clone(), rank)
+        RingComm::new(self.sc_dyn.clone(), ring.clone(), rank)
+    }
+
+    /// Binds the scalable communicator for one gang task of collective
+    /// `(op, attempt)`: frames are fenced to that epoch, receives abort on
+    /// the op's shared cancel token, and every receive is bounded by the
+    /// spec's collective deadline.
+    pub fn collective_comm(
+        &self,
+        ring: &Arc<RingTopology>,
+        executor: ExecutorId,
+        op: u64,
+        attempt: u32,
+    ) -> RingComm {
+        let rank = ring.rank_of(executor);
+        RingComm::new(self.sc_dyn.clone(), ring.clone(), rank)
+            .with_epoch(op, attempt)
+            .with_cancel(self.gang_token(op))
+            .with_recv_deadline(self.spec.collective_recv_timeout)
+    }
+
+    /// The shared cancel token of collective `op` (created on first use).
+    fn gang_token(&self, op: u64) -> Arc<AtomicBool> {
+        self.gang_cancel
+            .lock()
+            .entry(op)
+            .or_insert_with(|| Arc::new(AtomicBool::new(false)))
+            .clone()
     }
 
     /// Sends a serialized payload from an executor to another executor over
@@ -308,17 +359,19 @@ impl ClusterInner {
     pub fn driver_recv(&self, from: ExecutorId) -> EngineResult<ByteBuf> {
         let f = self
             .bm
-            .recv_timeout(self.driver, from, 0, STAGE_TIMEOUT)
+            .recv_timeout(self.driver, from, 0, self.spec.stage_timeout)
             .map_err(EngineError::from)?;
         self.spec.cost.charge_deser(f.len());
         Ok(f)
     }
 
     /// Runs one stage: `assignments[i]` is the executor of task `i`, `make`
-    /// produces each task's body. Returns per-task results in task order.
+    /// produces each task's body from `(task index, attempt, context)`.
+    /// Returns per-task results in task order.
     ///
     /// `make` may be invoked multiple times per task (retries /
-    /// resubmissions); the attempt number is what fault injection keys on.
+    /// resubmissions); the attempt number is what fault injection keys on,
+    /// and what gang tasks stamp on their collective frames.
     pub fn run_stage<R, F>(
         self: &Arc<Self>,
         label: &str,
@@ -328,7 +381,7 @@ impl ClusterInner {
     ) -> EngineResult<(Vec<R>, u32)>
     where
         R: Send + 'static,
-        F: Fn(usize, &TaskContext) -> Result<R, TaskFailure> + Send + Sync + 'static,
+        F: Fn(usize, u32, &TaskContext) -> Result<R, TaskFailure> + Send + Sync + 'static,
     {
         let n = assignments.len();
         if n == 0 {
@@ -338,6 +391,7 @@ impl ClusterInner {
         let make = Arc::new(make);
         let (tx, rx) = channel::<(usize, Result<R, TaskFailure>)>();
 
+        let fail_tx = tx.clone();
         let submit = |idx: usize, attempt: u32| {
             let make = make.clone();
             let tx = tx.clone();
@@ -348,14 +402,20 @@ impl ClusterInner {
                 let result = if armed && me.fault_plan.should_fail(&label, idx, attempt) {
                     Err(TaskFailure { reason: format!("injected fault (attempt {attempt})") })
                 } else {
-                    make(idx, ctx)
+                    make(idx, attempt, ctx)
                 };
                 let _ = tx.send((idx, result));
             });
-            self.executors[assignments[idx].index()]
-                .queue
-                .send(job)
-                .expect("executor queue closed");
+            let executor = assignments[idx];
+            // A dead executor (closed queue) is a lost task, not a driver
+            // panic: report it through the result channel so the stage's
+            // recovery policy decides what happens next.
+            if self.executors[executor.index()].queue.lock().send(job).is_err() {
+                let _ = fail_tx.send((
+                    idx,
+                    Err(TaskFailure { reason: format!("executor {executor} is dead (queue closed)") }),
+                ));
+            }
         };
 
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -371,7 +431,7 @@ impl ClusterInner {
 
         while completed < n {
             let (idx, res) = rx
-                .recv_timeout(STAGE_TIMEOUT)
+                .recv_timeout(self.spec.stage_timeout)
                 .map_err(|_| EngineError::Net(NetError::Timeout))?;
             inflight -= 1;
             match res {
@@ -384,7 +444,7 @@ impl ClusterInner {
                 Err(fail) => match &policy {
                     RecoveryPolicy::RetryTask => {
                         task_attempts[idx] += 1;
-                        if task_attempts[idx] >= MAX_ATTEMPTS {
+                        if task_attempts[idx] >= self.spec.max_task_attempts {
                             return Err(EngineError::TaskFailed {
                                 stage: label.to_string(),
                                 task: idx,
@@ -398,7 +458,7 @@ impl ClusterInner {
                     }
                     RecoveryPolicy::ResubmitStage { op } => {
                         stage_attempt += 1;
-                        if stage_attempt >= MAX_ATTEMPTS {
+                        if stage_attempt >= self.spec.max_task_attempts {
                             return Err(EngineError::TaskFailed {
                                 stage: label.to_string(),
                                 task: idx,
@@ -410,7 +470,7 @@ impl ClusterInner {
                         // no stale merge lands after cleanup.
                         while inflight > 0 {
                             let _ = rx
-                                .recv_timeout(STAGE_TIMEOUT)
+                                .recv_timeout(self.spec.stage_timeout)
                                 .map_err(|_| EngineError::Net(NetError::Timeout))?;
                             inflight -= 1;
                         }
@@ -429,10 +489,60 @@ impl ClusterInner {
                         }
                         inflight = n;
                     }
+                    RecoveryPolicy::ResubmitGang { op } => {
+                        stage_attempt += 1;
+                        // Cancel the gang: peers blocked in fenced receives
+                        // abort within one poll quantum instead of waiting
+                        // out their deadline.
+                        self.gang_token(*op).store(true, Ordering::Relaxed);
+                        while inflight > 0 {
+                            let _ = rx
+                                .recv_timeout(self.spec.stage_timeout)
+                                .map_err(|_| EngineError::Net(NetError::Timeout))?;
+                            inflight -= 1;
+                        }
+                        // Every gang task has now returned, so anything
+                        // still queued on either transport belongs to the
+                        // failed attempt: discard it all. (The epoch fence
+                        // would reject the sc frames anyway; gather frames
+                        // on the bm path carry no epoch, so the drain is
+                        // their only protection.)
+                        self.sc_dyn.drain_all();
+                        self.bm.drain_all();
+                        if stage_attempt >= self.spec.max_collective_attempts {
+                            self.gang_cancel.lock().remove(op);
+                            return Err(EngineError::TaskFailed {
+                                stage: label.to_string(),
+                                task: idx,
+                                attempts: stage_attempt,
+                                reason: fail.reason,
+                            });
+                        }
+                        // Fresh token: the next attempt starts uncancelled.
+                        // Unlike ResubmitStage there is no clear_op — gang
+                        // stages read their inputs non-destructively, so
+                        // executor state is intact for the retry (and for
+                        // the tree fallback if the gang exhausts).
+                        self.gang_cancel
+                            .lock()
+                            .insert(*op, Arc::new(AtomicBool::new(false)));
+                        for r in results.iter_mut() {
+                            *r = None;
+                        }
+                        completed = 0;
+                        total_attempts += n as u32;
+                        for idx in 0..n {
+                            submit(idx, stage_attempt);
+                        }
+                        inflight = n;
+                    }
                 },
             }
         }
 
+        if let RecoveryPolicy::ResubmitGang { op } = &policy {
+            self.gang_cancel.lock().remove(op);
+        }
         let out = results.into_iter().map(|r| r.expect("completed")).collect();
         self.history
             .record(label, n as u32, total_attempts, stage_start.elapsed());
@@ -458,7 +568,7 @@ mod tests {
             .run_stage(
                 "where-am-i",
                 &assignments,
-                |idx, ctx| Ok((idx, ctx.executor)),
+                |idx, _attempt, ctx| Ok((idx, ctx.executor)),
                 RecoveryPolicy::RetryTask,
             )
             .unwrap();
@@ -479,7 +589,7 @@ mod tests {
             .run_stage(
                 "flaky",
                 &assignments,
-                |idx, _ctx| Ok(idx * 10),
+                |idx, _attempt, _ctx| Ok(idx * 10),
                 RecoveryPolicy::RetryTask,
             )
             .unwrap();
@@ -498,7 +608,7 @@ mod tests {
             .run_stage(
                 "doomed",
                 &[ExecutorId(0)],
-                |_idx, _ctx| Ok(()),
+                |_idx, _attempt, _ctx| Ok(()),
                 RecoveryPolicy::RetryTask,
             )
             .unwrap_err();
@@ -517,7 +627,7 @@ mod tests {
             .run_stage(
                 "imm-stage",
                 &assignments,
-                move |idx, ctx| {
+                move |idx, _attempt, ctx| {
                     ctx.objects
                         .merge_in(ObjectId { op, slot: 0 }, 1u64, |a, b| *a += b);
                     Ok(idx)
@@ -549,7 +659,7 @@ mod tests {
                 &[ExecutorId(1)],
                 {
                     let inner = inner.clone();
-                    move |_idx, ctx| {
+                    move |_idx, _attempt, ctx| {
                         inner.bm_send_to_driver(ctx.executor, ByteBuf::from_static(b"result"))?;
                         Ok(())
                     }
@@ -573,7 +683,7 @@ mod tests {
             .run_stage(
                 "ring-hello",
                 &[ExecutorId(0), ExecutorId(1), ExecutorId(2)],
-                move |_idx, ctx| {
+                move |_idx, _attempt, ctx| {
                     let comm = inner2.ring_comm(&ring2, ctx.executor);
                     comm.send_next(0, ByteBuf::from(vec![comm.rank() as u8]))
                         .map_err(TaskFailure::from)?;
@@ -592,5 +702,121 @@ mod tests {
     fn cluster_shuts_down_cleanly() {
         let cluster = tiny();
         drop(cluster); // must not hang or leak panics
+    }
+
+    #[test]
+    fn dead_executor_fails_tasks_instead_of_panicking_the_driver() {
+        let cluster = tiny();
+        cluster.kill_executor(ExecutorId(1));
+        let err = cluster
+            .inner()
+            .run_stage(
+                "lost-exec",
+                &[ExecutorId(0), ExecutorId(1), ExecutorId(2)],
+                |idx, _attempt, _ctx| Ok(idx),
+                RecoveryPolicy::RetryTask,
+            )
+            .unwrap_err();
+        match err {
+            EngineError::TaskFailed { stage, task, reason, .. } => {
+                assert_eq!(stage, "lost-exec");
+                assert_eq!(task, 1);
+                assert!(reason.contains("dead"), "{reason}");
+            }
+            other => panic!("expected TaskFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn resubmit_gang_reruns_all_without_clearing_state() {
+        use crate::objects::ObjectId;
+        let cluster = tiny();
+        let op = cluster.inner().next_op();
+        cluster.fault_plan().fail_once("gang-stage", 1);
+        let assignments = vec![ExecutorId(0), ExecutorId(1), ExecutorId(2)];
+        let (_, attempts) = cluster
+            .inner()
+            .run_stage(
+                "gang-stage",
+                &assignments,
+                move |_idx, _attempt, ctx| {
+                    ctx.objects
+                        .merge_in(ObjectId { op, slot: 0 }, 1u64, |a, b| *a += b);
+                    Ok(())
+                },
+                RecoveryPolicy::ResubmitGang { op },
+            )
+            .unwrap();
+        assert_eq!(attempts, 6, "3 first attempt + 3 gang resubmits");
+        // Gang resubmission must NOT clear op state: executors 0 and 2 ran
+        // twice (two merges), executor 1's first attempt failed before its
+        // merge so it holds one.
+        for (e, want) in [(0u32, 2u64), (1, 1), (2, 2)] {
+            let v = cluster
+                .inner()
+                .executor_ctx(ExecutorId(e))
+                .objects
+                .take::<u64>(ObjectId { op, slot: 0 });
+            assert_eq!(v, Some(want), "executor {e}");
+        }
+    }
+
+    #[test]
+    fn resubmit_gang_gives_up_after_collective_budget() {
+        let spec = ClusterSpec::local(3, 2).with_max_collective_attempts(2);
+        let cluster = LocalCluster::new(spec);
+        let op = cluster.inner().next_op();
+        for attempt in 0..10 {
+            cluster.fault_plan().fail_attempt("gang-doomed", 0, attempt);
+        }
+        let err = cluster
+            .inner()
+            .run_stage(
+                "gang-doomed",
+                &[ExecutorId(0), ExecutorId(1), ExecutorId(2)],
+                |_idx, _attempt, _ctx| Ok(()),
+                RecoveryPolicy::ResubmitGang { op },
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::TaskFailed { attempts: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn gang_failure_cancels_a_peer_blocked_in_recv() {
+        use std::time::{Duration, Instant};
+        // Executor 0's task waits on a neighbour that dies before sending:
+        // the gang cancel token must abort the wait well before the 10s
+        // receive deadline.
+        let spec = ClusterSpec::local(3, 2)
+            .with_collective_recv_timeout(Duration::from_secs(10))
+            .with_max_collective_attempts(1);
+        let cluster = LocalCluster::new(spec);
+        let inner = cluster.inner().clone();
+        let op = inner.next_op();
+        let ring = inner.build_ring(1);
+        let inner2 = inner.clone();
+        let start = Instant::now();
+        let err = inner
+            .run_stage(
+                "gang-cancel",
+                &[ExecutorId(0), ExecutorId(1), ExecutorId(2)],
+                move |idx, attempt, ctx| {
+                    if idx == 1 {
+                        // Fail fast without sending anything.
+                        return Err(TaskFailure { reason: "peer died".into() });
+                    }
+                    let comm = inner2.collective_comm(&ring, ctx.executor, op, attempt);
+                    comm.recv_prev(0).map_err(TaskFailure::from)?;
+                    Ok(())
+                },
+                RecoveryPolicy::ResubmitGang { op },
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::TaskFailed { .. }), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancel token did not abort blocked peers: {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -6,11 +6,26 @@
 //! Presets cover the two evaluation clusters and an unshaped local spec for
 //! tests.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use sparker_net::blockmanager::BlockManagerCosts;
+use sparker_net::fault::NetFaultPlan;
 use sparker_net::profile::NetProfile;
 use sparker_net::topology::RingOrder;
 
 use crate::cost::CostModel;
+
+/// Generous default: local stages finish in milliseconds, so a wait this
+/// long only ever fires on a genuine hang.
+const DEFAULT_STAGE_TIMEOUT: Duration = Duration::from_secs(300);
+/// Spark's `spark.task.maxFailures` default.
+const DEFAULT_MAX_TASK_ATTEMPTS: u32 = 4;
+/// Gang resubmits before a collective degrades to the tree fallback.
+const DEFAULT_MAX_COLLECTIVE_ATTEMPTS: u32 = 4;
+/// Per-receive deadline inside a collective; bounds how long a ring blocks
+/// on a dead neighbour.
+const DEFAULT_COLLECTIVE_RECV_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Full configuration of a [`crate::cluster::LocalCluster`].
 #[derive(Debug, Clone)]
@@ -34,6 +49,20 @@ pub struct ClusterSpec {
     pub ring_parallelism: usize,
     /// Default `treeAggregate` depth (Spark's default is 2).
     pub tree_depth: usize,
+    /// Upper bound on one stage attempt (driver-side wait per task result).
+    pub stage_timeout: Duration,
+    /// Per-task retry budget under `RecoveryPolicy::RetryTask` (and the
+    /// resubmit budget of `ResubmitStage`).
+    pub max_task_attempts: u32,
+    /// Gang resubmit budget of `RecoveryPolicy::ResubmitGang` before a
+    /// collective op degrades to its fallback path.
+    pub max_collective_attempts: u32,
+    /// Deadline on each collective receive: how long a ring task waits on a
+    /// silent neighbour before failing the gang with a timeout.
+    pub collective_recv_timeout: Duration,
+    /// Optional deterministic fault plan wrapped around the scalable
+    /// communicator (the collectives' transport); `None` leaves it clean.
+    pub sc_fault: Option<Arc<NetFaultPlan>>,
 }
 
 impl ClusterSpec {
@@ -52,6 +81,11 @@ impl ClusterSpec {
             ring_order: RingOrder::TopologyAware,
             ring_parallelism: 2,
             tree_depth: 2,
+            stage_timeout: DEFAULT_STAGE_TIMEOUT,
+            max_task_attempts: DEFAULT_MAX_TASK_ATTEMPTS,
+            max_collective_attempts: DEFAULT_MAX_COLLECTIVE_ATTEMPTS,
+            collective_recv_timeout: DEFAULT_COLLECTIVE_RECV_TIMEOUT,
+            sc_fault: None,
         }
     }
 
@@ -72,6 +106,11 @@ impl ClusterSpec {
             ring_order: RingOrder::TopologyAware,
             ring_parallelism: 4,
             tree_depth: 2,
+            stage_timeout: DEFAULT_STAGE_TIMEOUT,
+            max_task_attempts: DEFAULT_MAX_TASK_ATTEMPTS,
+            max_collective_attempts: DEFAULT_MAX_COLLECTIVE_ATTEMPTS,
+            collective_recv_timeout: DEFAULT_COLLECTIVE_RECV_TIMEOUT,
+            sc_fault: None,
         }
     }
 
@@ -87,6 +126,11 @@ impl ClusterSpec {
             ring_order: RingOrder::TopologyAware,
             ring_parallelism: 4,
             tree_depth: 2,
+            stage_timeout: DEFAULT_STAGE_TIMEOUT,
+            max_task_attempts: DEFAULT_MAX_TASK_ATTEMPTS,
+            max_collective_attempts: DEFAULT_MAX_COLLECTIVE_ATTEMPTS,
+            collective_recv_timeout: DEFAULT_COLLECTIVE_RECV_TIMEOUT,
+            sc_fault: None,
         }
     }
 
@@ -124,6 +168,38 @@ impl ClusterSpec {
         assert!(executors_per_node >= 1 && cores_per_executor >= 1);
         self.executors_per_node = executors_per_node;
         self.cores_per_executor = cores_per_executor;
+        self
+    }
+
+    /// Builder-style override of the per-stage-attempt deadline.
+    pub fn with_stage_timeout(mut self, timeout: Duration) -> Self {
+        self.stage_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the per-task retry budget.
+    pub fn with_max_task_attempts(mut self, attempts: u32) -> Self {
+        assert!(attempts >= 1);
+        self.max_task_attempts = attempts;
+        self
+    }
+
+    /// Builder-style override of the gang resubmit budget.
+    pub fn with_max_collective_attempts(mut self, attempts: u32) -> Self {
+        assert!(attempts >= 1);
+        self.max_collective_attempts = attempts;
+        self
+    }
+
+    /// Builder-style override of the collective receive deadline.
+    pub fn with_collective_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.collective_recv_timeout = timeout;
+        self
+    }
+
+    /// Builder-style injection of a scalable-communicator fault plan.
+    pub fn with_sc_fault(mut self, plan: NetFaultPlan) -> Self {
+        self.sc_fault = Some(Arc::new(plan));
         self
     }
 }

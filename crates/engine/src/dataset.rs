@@ -232,7 +232,7 @@ impl<T: Data> Dataset<T> {
     ) -> EngineResult<(V, AggMetrics)>
     where
         U: Clone + Send + Sync + 'static,
-        V: Payload + Send + 'static,
+        V: Payload + Clone + Send + Sync + 'static,
     {
         ops::split_aggregate::split_aggregate(
             &self.cluster,

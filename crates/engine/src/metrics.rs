@@ -55,6 +55,9 @@ pub struct AggMetrics {
     pub stages: u32,
     /// Task attempts executed (retries included).
     pub task_attempts: u32,
+    /// True when the collective path exhausted its gang attempts and the
+    /// result was produced by the degraded (tree-style) fallback instead.
+    pub downgraded: bool,
 }
 
 impl AggMetrics {
@@ -69,6 +72,7 @@ impl AggMetrics {
             messages: 0,
             stages: 0,
             task_attempts: 0,
+            downgraded: false,
         }
     }
 

@@ -95,7 +95,7 @@ where
         let (_, attempts) = inner.run_stage(
             &format!("allreduce-imm-op{op}"),
             &assignments,
-            move |idx, ctx| {
+            move |idx, _attempt, ctx| {
                 let acc = fold_partition(&rdd, idx, ctx, zero.clone(), seq.as_ref())?;
                 let merge = merge.clone();
                 ctx.objects.merge_in(
@@ -132,10 +132,12 @@ where
         let (_, attempts) = inner.run_stage(
             &format!("allreduce-ring-op{op}"),
             &all_execs,
-            move |_idx, ctx| {
+            move |_idx, attempt, ctx| {
+                // Peek, don't take: a gang resubmission re-reads the same
+                // input aggregator, so it must survive a failed attempt.
                 let u: U = ctx
                     .objects
-                    .take(ObjectId { op, slot: ctx.executor.0 as u64 })
+                    .with(ObjectId { op, slot: ctx.executor.0 as u64 }, |u: &U| u.clone())
                     .unwrap_or_else(|| zero.clone());
                 // Parallel split, as in split_aggregate.
                 let segments: Vec<V> = {
@@ -159,7 +161,7 @@ where
                 };
                 drop(u);
 
-                let comm = inner2.ring_comm(&ring, ctx.executor);
+                let comm = inner2.collective_comm(&ring, ctx.executor, op, attempt);
                 let all = ring_allreduce_by(&comm, segments, &|a: &mut V, b: V| reduce(a, b))
                     .map_err(TaskFailure::from)?;
                 let value = concat(all);
@@ -174,10 +176,15 @@ where
                 ctx.objects.merge_in(executor_copy_slot(op), value, |a, b| *a = b);
                 Ok(())
             },
-            RecoveryPolicy::RetryTask,
+            RecoveryPolicy::ResubmitGang { op },
         )?;
         metrics.task_attempts += attempts;
         metrics.stages += 1;
+    }
+    // Input aggregators were only peeked (gang retries re-read them); drop
+    // them now so executors keep just their resident reduced copy.
+    for e in &all_execs {
+        inner.executor_ctx(*e).objects.take::<U>(ObjectId { op, slot: e.0 as u64 });
     }
 
     let frame = inner.driver_recv(reporter)?;

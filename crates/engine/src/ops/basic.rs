@@ -42,7 +42,7 @@ pub fn collect<T: Data + Payload>(cluster: &LocalCluster, rdd: RddRef<T>) -> Eng
     let (_acks, _) = inner.run_stage(
         "collect",
         &assignments,
-        move |idx, ctx| {
+        move |idx, _attempt, ctx| {
             let items: Vec<T> = rdd.compute(idx, ctx).collect();
             let mut enc = Encoder::new();
             enc.put_usize(idx);
@@ -78,7 +78,7 @@ pub fn count<T: Data>(cluster: &LocalCluster, rdd: RddRef<T>) -> EngineResult<u6
     let (counts, _) = inner.run_stage(
         "count",
         &assignments,
-        move |idx, ctx| Ok(rdd.compute(idx, ctx).count() as u64),
+        move |idx, _attempt, ctx| Ok(rdd.compute(idx, ctx).count() as u64),
         RecoveryPolicy::RetryTask,
     )?;
     Ok(counts.into_iter().sum())
@@ -108,7 +108,7 @@ where
     let (_acks, _) = inner.run_stage(
         "aggregate",
         &assignments,
-        move |idx, ctx| {
+        move |idx, _attempt, ctx| {
             let mut acc = task_zero.clone();
             for item in rdd.compute(idx, ctx) {
                 acc = seq(acc, &item);

@@ -38,8 +38,14 @@ use crate::cluster::{LocalCluster, RecoveryPolicy};
 use crate::metrics::{AggMetrics, AggStrategy};
 use crate::objects::ObjectId;
 use crate::ops::basic::{fold_partition, partition_assignments};
+use crate::ops::tree_aggregate::{shuffle_round, tree_scale};
 use crate::rdd::{Data, RddRef};
 use crate::task::{EngineError, EngineResult, TaskFailure};
+
+/// Slot base of the fallback path's per-executor segment vectors. Disjoint
+/// from the IMM slots (`0..nexec`), the allreduce resident copy (`1 << 48`)
+/// and the shuffle-round slots (`level << 32 | j`, small `level`).
+const FALLBACK_SLOT_BASE: u64 = 2 << 48;
 
 /// Which reduce-scatter algorithm the ring stage runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +110,7 @@ pub fn split_aggregate<T, U, V, S, M, Sp, R, C>(
 where
     T: Data,
     U: Clone + Send + Sync + 'static,
-    V: Payload + Send + 'static,
+    V: Payload + Clone + Send + Sync + 'static,
     S: Fn(U, &T) -> U + Send + Sync + 'static,
     M: Fn(&mut U, U) + Send + Sync + 'static,
     Sp: Fn(&U, usize, usize) -> V + Send + Sync + 'static,
@@ -141,7 +147,7 @@ where
         let (_, attempts) = inner.run_stage(
             &imm_label,
             &assignments,
-            move |idx, ctx| {
+            move |idx, _attempt, ctx| {
                 let id = ObjectId { op, slot: ctx.executor.0 as u64 };
                 match imm_mode {
                     ImmMode::LocalFold => {
@@ -192,21 +198,26 @@ where
 
     let ring_label = format!("split-ring-op{op}");
     let all_execs: Vec<ExecutorId> = (0..nexec).map(|e| ExecutorId(e as u32)).collect();
-    {
+    let split = Arc::new(split_op);
+    let reduce = Arc::new(reduce_op);
+    let ring_outcome = {
         let inner2 = inner.clone();
         let ring = ring.clone();
-        let split = Arc::new(split_op);
-        let reduce = Arc::new(reduce_op);
+        let split = split.clone();
+        let reduce = reduce.clone();
         let zero = zero.clone();
         let ser_bytes = ser_bytes.clone();
         let algorithm = opts.algorithm;
-        let (_, attempts) = inner.run_stage(
+        inner.run_stage(
             &ring_label,
             &all_execs,
-            move |_idx, ctx| {
+            move |_idx, attempt, ctx| {
+                // Peek, don't take: a gang resubmission re-reads the same
+                // input aggregator, and the tree fallback needs it intact
+                // if the gang exhausts its attempts.
                 let u: U = ctx
                     .objects
-                    .take(ObjectId { op, slot: ctx.executor.0 as u64 })
+                    .with(ObjectId { op, slot: ctx.executor.0 as u64 }, |u: &U| u.clone())
                     .unwrap_or_else(|| zero.clone());
 
                 // Parallel split: P threads each produce a contiguous chunk
@@ -233,7 +244,7 @@ where
                 };
                 drop(u);
 
-                let comm = inner2.ring_comm(&ring, ctx.executor);
+                let comm = inner2.collective_comm(&ring, ctx.executor, op, attempt);
                 let owned: Vec<OwnedSegment<V>> = match algorithm {
                     RsAlgorithm::Ring => {
                         ring_reduce_scatter_by(&comm, segments, &|a: &mut V, b: V| reduce(a, b))
@@ -260,42 +271,191 @@ where
                 inner2.bm_send_to_driver(ctx.executor, frame)?;
                 Ok(owned.len())
             },
-            RecoveryPolicy::RetryTask,
-        )?;
-        metrics.task_attempts += attempts;
-        metrics.stages += 1;
-    }
+            RecoveryPolicy::ResubmitGang { op },
+        )
+    };
 
-    // --- Driver: gather + concat ------------------------------------------
-    let td = Instant::now();
-    let mut slots: Vec<Option<V>> = (0..total_segments).map(|_| None).collect();
-    for exec in &all_execs {
-        let frame = inner.driver_recv(*exec)?;
-        metrics.bytes_to_driver += frame.len() as u64;
-        let mut dec = Decoder::new(frame);
-        let count = dec.get_usize()?;
-        for _ in 0..count {
-            let idx = dec.get_usize()?;
-            let v = V::decode_from(&mut dec)?;
-            if idx >= total_segments || slots[idx].is_some() {
-                return Err(EngineError::Invalid(format!("segment {idx} duplicated or out of range")));
+    // Aggregator-carrying messages beyond the sc counters (gather frames and
+    // fallback shuffle frames travel the BM path).
+    let extra_messages: u64;
+    let result = match ring_outcome {
+        Ok((_, attempts)) => {
+            metrics.task_attempts += attempts;
+            metrics.stages += 1;
+
+            // --- Driver: gather + concat --------------------------------
+            let td = Instant::now();
+            let mut slots: Vec<Option<V>> = (0..total_segments).map(|_| None).collect();
+            for exec in &all_execs {
+                let frame = inner.driver_recv(*exec)?;
+                metrics.bytes_to_driver += frame.len() as u64;
+                let mut dec = Decoder::new(frame);
+                let count = dec.get_usize()?;
+                for _ in 0..count {
+                    let idx = dec.get_usize()?;
+                    let v = V::decode_from(&mut dec)?;
+                    if idx >= total_segments || slots[idx].is_some() {
+                        return Err(EngineError::Invalid(format!(
+                            "segment {idx} duplicated or out of range"
+                        )));
+                    }
+                    slots[idx] = Some(v);
+                }
             }
-            slots[idx] = Some(v);
+            let segments: Vec<V> = slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| s.ok_or_else(|| EngineError::Invalid(format!("segment {i} missing"))))
+                .collect::<EngineResult<_>>()?;
+            let result = concat_op(segments);
+            metrics.driver_merge = td.elapsed();
+            extra_messages = nexec as u64;
+            result
         }
+        Err(EngineError::TaskFailed { stage, .. }) if stage == ring_label => {
+            // --- Graceful degradation: tree fallback --------------------
+            // The gang exhausted `max_collective_attempts`. The collective
+            // path is unusable, but the per-executor aggregators are intact
+            // (the ring stage only peeked), so finish the op over the
+            // BlockManager path with a tree of whole segment vectors —
+            // slower, but recoverable one task at a time.
+            cluster.history().record(
+                &format!("split-downgrade-op{op}"),
+                0,
+                0,
+                std::time::Duration::ZERO,
+            );
+            metrics.downgraded = true;
+            let messages = Arc::new(AtomicU64::new(0));
+
+            // Seed: each executor splits its aggregator into the full
+            // segment vector (same indexing as the ring path) for the
+            // shuffle tree. Replace-merge keeps retries idempotent.
+            let seed_label = format!("split-fallback-op{op}");
+            {
+                let split = split.clone();
+                let zero = zero.clone();
+                let (_, attempts) = inner.run_stage(
+                    &seed_label,
+                    &all_execs,
+                    move |_idx, _attempt, ctx| {
+                        let u: U = ctx
+                            .objects
+                            .with(ObjectId { op, slot: ctx.executor.0 as u64 }, |u: &U| u.clone())
+                            .unwrap_or_else(|| zero.clone());
+                        let segs: Vec<V> =
+                            (0..total_segments).map(|g| split(&u, g, total_segments)).collect();
+                        ctx.objects.merge_in(
+                            ObjectId { op, slot: FALLBACK_SLOT_BASE | ctx.executor.0 as u64 },
+                            segs,
+                            |a, b| *a = b,
+                        );
+                        Ok(())
+                    },
+                    RecoveryPolicy::RetryTask,
+                )?;
+                metrics.task_attempts += attempts;
+                metrics.stages += 1;
+            }
+
+            // Shuffle the segment vectors down a tree (reusing the
+            // tree-aggregate machinery) with an element-wise merge.
+            let comb = {
+                let reduce = reduce.clone();
+                Arc::new(move |mut a: Vec<V>, b: Vec<V>| {
+                    if a.is_empty() {
+                        return b;
+                    }
+                    for (x, y) in a.iter_mut().zip(b) {
+                        reduce(x, y);
+                    }
+                    a
+                })
+            };
+            let fb_zero: Vec<V> = Vec::new();
+            let mut holders: Vec<(ExecutorId, u64)> = all_execs
+                .iter()
+                .map(|e| (*e, FALLBACK_SLOT_BASE | e.0 as u64))
+                .collect();
+            let scale = tree_scale(nexec, inner.spec().tree_depth);
+            let mut level: u64 = 1;
+            while holders.len() > scale + holders.len() / scale {
+                let m = (holders.len() / scale).max(1);
+                holders = shuffle_round(
+                    cluster, op, level, &holders, m, nexec, &comb, &fb_zero, &ser_bytes,
+                    &messages, &mut metrics,
+                )?;
+                level += 1;
+            }
+
+            // Final: surviving holders ship their vectors to the driver.
+            let final_label = format!("split-fallback-final-op{op}");
+            let final_assignments: Vec<ExecutorId> = holders.iter().map(|(e, _)| *e).collect();
+            {
+                let slots: Vec<u64> = holders.iter().map(|(_, s)| *s).collect();
+                let send_inner = inner.clone();
+                let ser_bytes = ser_bytes.clone();
+                let (_, attempts) = inner.run_stage(
+                    &final_label,
+                    &final_assignments,
+                    move |idx, _attempt, ctx| {
+                        // Peek so a retried send still finds its vector.
+                        let segs: Vec<V> = ctx
+                            .objects
+                            .with(ObjectId { op, slot: slots[idx] }, |v: &Vec<V>| v.clone())
+                            .ok_or_else(|| TaskFailure {
+                                reason: format!("missing fallback slot {}", slots[idx]),
+                            })?;
+                        let frame = segs.to_frame();
+                        ser_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                        send_inner.bm_send_to_driver(ctx.executor, frame)?;
+                        Ok(())
+                    },
+                    RecoveryPolicy::RetryTask,
+                )?;
+                metrics.task_attempts += attempts;
+                metrics.stages += 1;
+            }
+
+            let td = Instant::now();
+            let mut acc: Vec<V> = Vec::new();
+            for exec in &final_assignments {
+                let frame = inner.driver_recv(*exec)?;
+                metrics.bytes_to_driver += frame.len() as u64;
+                let segs = Vec::<V>::from_frame(frame)?;
+                if acc.is_empty() {
+                    acc = segs;
+                } else {
+                    for (x, y) in acc.iter_mut().zip(segs) {
+                        reduce(x, y);
+                    }
+                }
+            }
+            if acc.len() != total_segments {
+                return Err(EngineError::Invalid(format!(
+                    "fallback produced {} segments, expected {total_segments}",
+                    acc.len()
+                )));
+            }
+            let result = concat_op(acc);
+            metrics.driver_merge = td.elapsed();
+            extra_messages = messages.load(Ordering::Relaxed) + final_assignments.len() as u64;
+            result
+        }
+        Err(e) => return Err(e),
+    };
+
+    // Everything the op parked in executor object managers — peeked inputs,
+    // fallback vectors, shuffle slots — is dead now.
+    for e in &all_execs {
+        inner.executor_ctx(*e).objects.clear_op(op);
     }
-    let segments: Vec<V> = slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| s.ok_or_else(|| EngineError::Invalid(format!("segment {i} missing"))))
-        .collect::<EngineResult<_>>()?;
-    let result = concat_op(segments);
-    metrics.driver_merge = td.elapsed();
     metrics.reduce = t1.elapsed();
 
     let sc_after = cluster.sc_stats();
     metrics.ser_bytes =
         ser_bytes.load(Ordering::Relaxed) + (sc_after.bytes - sc_before.bytes);
-    metrics.messages = (sc_after.messages - sc_before.messages) + nexec as u64;
+    metrics.messages = (sc_after.messages - sc_before.messages) + extra_messages;
     Ok((result, metrics))
 }
 

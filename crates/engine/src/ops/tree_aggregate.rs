@@ -49,7 +49,7 @@ impl Default for TreeAggOpts {
 }
 
 /// Spark's scale factor: `max(⌈n^(1/depth)⌉, 2)`.
-fn tree_scale(partitions: usize, depth: usize) -> usize {
+pub(crate) fn tree_scale(partitions: usize, depth: usize) -> usize {
     ((partitions as f64).powf(1.0 / depth.max(1) as f64).ceil() as usize).max(2)
 }
 
@@ -101,7 +101,7 @@ where
         let (_, attempts) = inner.run_stage(
             &stage_label,
             &assignments,
-            move |idx, ctx| {
+            move |idx, _attempt, ctx| {
                 let acc = fold_partition(&rdd, idx, ctx, zero.clone(), seq.as_ref())?;
                 let slot = if imm { ctx.executor.0 as u64 } else { idx as u64 };
                 let comb = comb.clone();
@@ -153,7 +153,7 @@ where
         let (_, attempts) = inner.run_stage(
             &final_label,
             &final_assignments,
-            move |idx, ctx| {
+            move |idx, _attempt, ctx| {
                 let u: U = ctx
                     .objects
                     .take(ObjectId { op, slot: slots[idx] })
@@ -187,8 +187,12 @@ where
 }
 
 /// One shuffle round: routes `holders` into `m` reducer slots.
+///
+/// `pub(crate)` because `split_aggregate`'s degraded fallback path reuses it
+/// at the segment level (over `Vec<V>` aggregators) when the collective gang
+/// exhausts its attempts.
 #[allow(clippy::too_many_arguments)]
-fn shuffle_round<U, C>(
+pub(crate) fn shuffle_round<U, C>(
     cluster: &LocalCluster,
     op: u64,
     level: u64,
@@ -245,7 +249,7 @@ where
         let (_, attempts) = inner.run_stage(
             &label,
             &stage_assignments,
-            move |idx, ctx| {
+            move |idx, _attempt, ctx| {
                 if idx < n_send {
                     let plan = &send_plan[&senders[idx]];
                     for (slot, j, dst) in plan {

@@ -105,6 +105,10 @@ impl Transport for BlockManagerTransport {
         wait_for(self.scaled(self.costs.control_rpc + self.costs.poll_quantum));
         Ok(msg)
     }
+
+    fn drain_all(&self) -> usize {
+        self.inner.drain_all()
+    }
 }
 
 #[cfg(test)]

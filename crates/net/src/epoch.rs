@@ -1,0 +1,148 @@
+//! Epoch fencing for collective frames.
+//!
+//! Collective stages are gang-scheduled: when one ring task fails, its peers
+//! are cancelled and the whole stage is resubmitted. Frames from the failed
+//! attempt may still be sitting in (or racing into) the mesh channels, and a
+//! retried task that consumed one would silently corrupt the reduction. Every
+//! collective frame therefore carries an `(op, attempt)` epoch header;
+//! receivers drop frames whose epoch does not match their own, and the driver
+//! additionally drains the transport between attempts.
+//!
+//! The header also carries an FNV-1a checksum over the op, attempt, and
+//! payload bytes. An in-process mesh cannot flip bits on its own, but the
+//! fault injector ([`crate::fault`]) can — and a corrupted `f64` would decode
+//! "successfully" into a wrong answer. The checksum turns every byte mutation
+//! into a typed [`NetError::Codec`] instead.
+
+use crate::bytebuf::ByteBuf;
+use crate::codec::{Decoder, Encoder};
+use crate::error::{NetError, NetResult};
+
+/// Frame magic: distinguishes epoch-wrapped collective frames from garbage.
+const MAGIC: u32 = 0x5350_4B31; // "SPK1"
+
+/// FNV-1a over the epoch fields and payload, the integrity check for
+/// collective frames.
+fn checksum(op: u64, attempt: u32, payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in op.to_le_bytes() {
+        step(b);
+    }
+    for b in attempt.to_le_bytes() {
+        step(b);
+    }
+    for &b in payload {
+        step(b);
+    }
+    h
+}
+
+/// Wraps `payload` in an epoch header for collective transmission.
+///
+/// Layout: `magic u32 | checksum u64 | op u64 | attempt u32 | payload bytes`
+/// (the payload is length-prefixed via the codec's `put_bytes`).
+pub fn wrap(op: u64, attempt: u32, payload: &ByteBuf) -> ByteBuf {
+    let mut enc = Encoder::with_capacity(4 + 8 + 8 + 4 + 8 + payload.len());
+    enc.put_u32(MAGIC);
+    enc.put_u64(checksum(op, attempt, payload));
+    enc.put_u64(op);
+    enc.put_u32(attempt);
+    enc.put_bytes(payload);
+    enc.finish()
+}
+
+/// Unwraps an epoch-fenced frame, returning `(op, attempt, payload)`.
+///
+/// Every malformed input — wrong magic, truncation, trailing bytes, or any
+/// single-byte mutation anywhere in the frame — yields [`NetError::Codec`].
+pub fn unwrap(frame: ByteBuf) -> NetResult<(u64, u32, ByteBuf)> {
+    let mut dec = Decoder::new(frame);
+    let magic = dec.get_u32()?;
+    if magic != MAGIC {
+        return Err(NetError::Codec(format!(
+            "bad collective frame magic {magic:#010x} (want {MAGIC:#010x})"
+        )));
+    }
+    let sum = dec.get_u64()?;
+    let op = dec.get_u64()?;
+    let attempt = dec.get_u32()?;
+    let payload = dec.get_bytes()?;
+    if dec.remaining() != 0 {
+        return Err(NetError::Codec(format!(
+            "{} trailing bytes after collective frame",
+            dec.remaining()
+        )));
+    }
+    let want = checksum(op, attempt, &payload);
+    if sum != want {
+        return Err(NetError::Codec(format!(
+            "collective frame checksum mismatch: header {sum:#018x}, computed {want:#018x}"
+        )));
+    }
+    Ok((op, attempt, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_epoch_and_payload() {
+        let payload = ByteBuf::from_static(b"segment bytes");
+        let frame = wrap(42, 3, &payload);
+        let (op, attempt, body) = unwrap(frame).unwrap();
+        assert_eq!(op, 42);
+        assert_eq!(attempt, 3);
+        assert_eq!(&body[..], b"segment bytes");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let (op, attempt, body) = unwrap(wrap(1, 0, &ByteBuf::new())).unwrap();
+        assert_eq!((op, attempt), (1, 0));
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let frame = wrap(7, 1, &ByteBuf::from_static(b"x"));
+        let mut bytes = frame.to_vec();
+        bytes[0] ^= 0xff;
+        assert!(matches!(unwrap(ByteBuf::from(bytes)), Err(NetError::Codec(_))));
+    }
+
+    #[test]
+    fn any_byte_flip_is_detected() {
+        let frame = wrap(9, 2, &ByteBuf::from_static(b"some payload here"));
+        for i in 0..frame.len() {
+            let mut bytes = frame.to_vec();
+            bytes[i] ^= 0x01;
+            let got = unwrap(ByteBuf::from(bytes));
+            assert!(
+                matches!(got, Err(NetError::Codec(_))),
+                "flip at byte {i} was not caught: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let frame = wrap(5, 0, &ByteBuf::from_static(b"abcdef"));
+        for cut in 0..frame.len() {
+            let short = frame.slice(0..cut);
+            assert!(matches!(unwrap(short), Err(NetError::Codec(_))), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let frame = wrap(5, 0, &ByteBuf::from_static(b"abc"));
+        let mut bytes = frame.to_vec();
+        bytes.push(0);
+        assert!(matches!(unwrap(ByteBuf::from(bytes)), Err(NetError::Codec(_))));
+    }
+}

@@ -13,6 +13,9 @@ pub enum NetError {
     Disconnected,
     /// `recv` was asked for a frame but the deadline elapsed.
     Timeout,
+    /// The operation was abandoned because its collective gang was cancelled
+    /// (a peer task failed and the stage is being resubmitted).
+    Cancelled,
     /// A frame failed to decode: the payload did not match the expected shape.
     Codec(String),
     /// An executor/rank/channel outside the configured mesh was addressed.
@@ -24,6 +27,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::Disconnected => write!(f, "peer disconnected"),
             NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Cancelled => write!(f, "collective cancelled"),
             NetError::Codec(msg) => write!(f, "codec error: {msg}"),
             NetError::InvalidAddress(msg) => write!(f, "invalid address: {msg}"),
         }
@@ -43,6 +47,7 @@ mod tests {
     fn display_formats_are_stable() {
         assert_eq!(NetError::Disconnected.to_string(), "peer disconnected");
         assert_eq!(NetError::Timeout.to_string(), "receive timed out");
+        assert_eq!(NetError::Cancelled.to_string(), "collective cancelled");
         assert_eq!(
             NetError::Codec("bad tag".into()).to_string(),
             "codec error: bad tag"

@@ -32,6 +32,14 @@
 //!   reproducible in-process.
 //! * [`blockmanager`] — a deliberately slow polling key-value transport that
 //!   emulates Spark BlockManager-based message passing (the paper's strawman).
+//! * [`fault`] — deterministic transport-level fault injection: a
+//!   [`fault::FaultyTransport`] decorator replaying a [`fault::NetFaultPlan`]
+//!   (drops, delays, corruption, executor kills, partitions) against any
+//!   inner transport, the substrate of the chaos suite.
+//! * [`epoch`] — the `(op, attempt)` epoch header plus FNV-1a checksum that
+//!   fences collective frames: stale-attempt frames are rejected by
+//!   receivers, corrupted frames fail as [`NetError::Codec`] instead of
+//!   decoding into a wrong answer.
 //! * [`topology`] — executor ranks, the parallel directed ring (PDR), and
 //!   topology-aware ordering (sort executors by hostname so that ring
 //!   neighbours land on the same node whenever possible).
@@ -42,7 +50,9 @@ pub mod bench;
 pub mod blockmanager;
 pub mod bytebuf;
 pub mod codec;
+pub mod epoch;
 pub mod error;
+pub mod fault;
 pub mod profile;
 pub mod sync;
 pub mod time;
@@ -52,6 +62,7 @@ pub mod transport;
 pub use bytebuf::{ByteBuf, ByteBufMut};
 pub use codec::{Decoder, Encoder, Payload};
 pub use error::NetError;
+pub use fault::{FaultyTransport, NetFaultPlan};
 pub use profile::{LinkProfile, NetProfile, TransportKind};
 pub use topology::{ExecutorId, ExecutorInfo, RingTopology};
 pub use transport::{MeshTransport, Transport};

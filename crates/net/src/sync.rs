@@ -231,6 +231,12 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Pops a queued message without blocking; `None` if the queue is empty
+    /// (regardless of whether senders remain).
+    pub fn try_recv(&self) -> Option<T> {
+        self.chan.state.lock().queue.pop_front()
+    }
+
     /// Like [`Receiver::recv`] with an upper bound on the wait.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
@@ -314,6 +320,16 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = channel();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(3u8).unwrap();
+        assert_eq!(rx.try_recv(), Some(3));
+        drop(tx);
+        assert_eq!(rx.try_recv(), None);
     }
 
     #[test]

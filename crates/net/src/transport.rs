@@ -49,6 +49,13 @@ pub trait Transport: Send + Sync {
         channel: usize,
         timeout: Duration,
     ) -> NetResult<ByteBuf>;
+    /// Discards every queued-but-unreceived message, returning how many were
+    /// dropped. The driver calls this between collective stage attempts so no
+    /// frame from a failed attempt can poison the retry. Transports without
+    /// queues report 0.
+    fn drain_all(&self) -> usize {
+        0
+    }
 }
 
 /// Running totals maintained by a transport.
@@ -282,6 +289,16 @@ impl Transport for MeshTransport {
         })?;
         wait_until(m.deliver_at);
         Ok(m.payload)
+    }
+
+    fn drain_all(&self) -> usize {
+        let mut dropped = 0;
+        for rx in &self.rx {
+            while rx.try_recv().is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
     }
 }
 

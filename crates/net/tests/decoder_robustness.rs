@@ -7,7 +7,7 @@
 use sparker_testkit::{check, tk_assert, Config};
 
 use sparker_net::codec::{Decoder, F64Array, Payload};
-use sparker_net::ByteBuf;
+use sparker_net::{epoch, ByteBuf, NetError};
 
 fn cfg() -> Config {
     Config::with_cases(256)
@@ -65,6 +65,54 @@ fn frames_with_trailing_garbage_are_rejected() {
         bytes.extend(garbage);
         tk_assert!(u64::from_frame(ByteBuf::from(bytes)).is_err());
         Ok(())
+    });
+}
+
+/// Every mutation of an epoch-wrapped collective frame — a flipped byte, a
+/// truncation, appended garbage, or any combination — must be caught by the
+/// header checksum and surface as `NetError::Codec`. A mutation that slips
+/// through would hand a ring stage a stale or corrupted segment.
+#[test]
+fn mutated_epoch_frames_always_fail_as_codec_errors() {
+    check(&cfg(), |src| {
+        let op = src.u64_any();
+        let attempt = src.u32_any();
+        let payload = ByteBuf::from(src.vec_of(0..64, |s| s.u8_any()));
+        let wrapped = epoch::wrap(op, attempt, &payload);
+
+        // Sanity: the unmutated frame round-trips.
+        let (o, a, p) = epoch::unwrap(wrapped.clone()).expect("clean frame unwraps");
+        tk_assert!(o == op && a == attempt && p.to_vec() == payload.to_vec());
+
+        let mut bytes = wrapped.to_vec();
+        let mutations = src.usize_in(1..4);
+        for _ in 0..mutations {
+            match src.usize_in(0..3) {
+                // Flip one to eight bits of a random byte (never a no-op).
+                0 if !bytes.is_empty() => {
+                    let i = src.usize_in(0..bytes.len());
+                    let mask = src.u8_any() | 1;
+                    bytes[i] ^= mask;
+                }
+                // Truncate to a strict prefix.
+                1 if !bytes.is_empty() => bytes.truncate(src.usize_in(0..bytes.len())),
+                // Append trailing garbage (and the fallback once a previous
+                // truncation emptied the frame).
+                _ => bytes.extend(src.vec_of(1..16, |s| s.u8_any())),
+            }
+        }
+        if bytes == wrapped.to_vec() {
+            return Ok(()); // two identical flips cancelled out: nothing to test
+        }
+        match epoch::unwrap(ByteBuf::from(bytes)) {
+            Err(NetError::Codec(_)) => Ok(()),
+            Err(e) => Err(sparker_testkit::PropError::new(format!(
+                "mutation surfaced as {e} instead of Codec"
+            ))),
+            Ok(_) => {
+                Err(sparker_testkit::PropError::new("mutated epoch frame unwrapped successfully"))
+            }
+        }
     });
 }
 

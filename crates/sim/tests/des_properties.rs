@@ -6,7 +6,10 @@ use sparker_testkit::{check, tk_assert, Config, Source};
 use sparker_sim::des::{DesParams, OpGraph, OpKind};
 
 fn cfg() -> Config {
-    Config::with_cases(64)
+    // Seed re-rolled when the DAG generator switched from `f64_any` (which
+    // produced infinities that an inline clamp had to paper over) to finite
+    // magnitudes, so the corpus exercises the new generator from scratch.
+    Config::with_cases(64).with_seed(0x5e5_d35_0002)
 }
 
 fn params(executors: usize, cores: usize) -> DesParams {
@@ -31,9 +34,6 @@ fn random_graph(
 ) -> OpGraph {
     let mut g = OpGraph::new();
     for (i, &(kind, mag)) in kinds.iter().enumerate() {
-        // `inf.abs() % 2.0` is NaN, which the simulator (correctly) rejects;
-        // map non-finite magnitudes to zero so the DAG stays valid.
-        let mag = if mag.is_finite() { mag } else { 0.0 };
         let dep_ids: Vec<usize> = deps[i].iter().copied().filter(|&d| d < i).collect();
         match kind % 4 {
             0 => {
@@ -56,7 +56,9 @@ fn random_graph(
 #[test]
 fn finish_times_respect_dependencies() {
     check(&cfg(), |src| {
-        let kinds = src.vec_of(1..40, |s| (s.u8_any(), s.f64_any()));
+        // Finite magnitudes only: `f64_any` can draw `inf`, and
+        // `inf.abs() % 2.0` is NaN, which the simulator (correctly) rejects.
+        let kinds = src.vec_of(1..40, |s| (s.u8_any(), s.f64_in(0.0..1e9)));
         let raw_deps: Vec<Vec<usize>> =
             (0..40).map(|_| src.vec_of(0..4, |s| s.usize_in(0..40))).collect();
         let g = random_graph(3, &kinds, &raw_deps);

@@ -48,12 +48,12 @@ fn main() {
     assert_eq!(sum, expected, "stage resubmission must not double-count");
     println!("IMM-stage fault:            sum {sum}, {attempts} attempts (whole stage resubmitted)");
 
-    // Fault in the statically-scheduled ring stage: tasks are independent
-    // until they communicate, and an injected failure happens before the
-    // task joins the ring — so a single retry rejoins cleanly.
+    // Fault in the ring stage: ring tasks hold live channels to their
+    // neighbours, so one failure cancels and resubmits the whole gang with
+    // a bumped epoch (stale frames from the dead attempt are fenced off).
     let (sum, attempts) = run_with_fault(Some(("split-ring-op1", 1)));
     assert_eq!(sum, expected);
-    println!("ring-stage fault:           sum {sum}, {attempts} attempts (one task retried)");
+    println!("ring-stage fault:           sum {sum}, {attempts} attempts (whole gang resubmitted)");
 
     println!(
         "\nthe paper's argument (§3.2): ML iterations are short, so resubmitting a whole\n\

@@ -46,4 +46,10 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo build --offline --benches
 
+# 4. Chaos gate — the transport-fault-injection suite, run explicitly and
+#    under a wall-clock bound. Its seeds are fixed (deterministic, offline);
+#    every wait in the collectives is deadline-bounded, so a timeout here
+#    means a fault path regressed into a hang.
+timeout 120 cargo test -q --offline -p sparker-repro --test chaos_collectives
+
 echo "hermetic check passed: built and tested fully offline, path-only deps"
