@@ -7,7 +7,7 @@
 //! copy. This harness compares their reduce times and driver traffic on
 //! the shaped threaded engine.
 
-use sparker_bench::{fmt_secs, print_header, Table};
+use sparker_bench::{fmt_secs, print_header, MetricsCsv, Table};
 use sparker_engine::cluster::LocalCluster;
 use sparker_engine::config::ClusterSpec;
 use sparker_engine::ops::split_aggregate::SplitAggOpts;
@@ -29,6 +29,9 @@ fn main() {
         "Split driver KiB",
         "Allreduce driver KiB",
     ]);
+    // Both variants report `strategy = split`; the `variant` key tells the
+    // gather-to-driver and allgather rows apart.
+    let mut csv = MetricsCsv::new(vec!["size", "nodes", "variant"]);
     for (label, paper_bytes) in [("8MB", 8.0 * 1024.0 * 1024.0), ("64MB", 64.0 * 1024.0 * 1024.0)] {
         for nodes in [2usize, 4] {
             let elems = (paper_bytes / SCALE / 8.0) as usize;
@@ -66,6 +69,8 @@ fn main() {
                     None,
                 )
                 .unwrap();
+            csv.row(vec![label.to_string(), nodes.to_string(), "split".into()], &split);
+            csv.row(vec![label.to_string(), nodes.to_string(), "allreduce".into()], &out.metrics);
             t.row(vec![
                 label.to_string(),
                 nodes.to_string(),
@@ -79,6 +84,6 @@ fn main() {
     t.print();
     println!("\n(allreduce moves more data between executors — the allgather — but frees the");
     println!(" driver; in iterative training it also replaces the next broadcast)");
-    let path = t.write_csv("ablation_allreduce").expect("csv");
+    let path = csv.write("ablation_allreduce").expect("csv");
     println!("wrote {}", path.display());
 }

@@ -6,7 +6,7 @@
 //! are the signal) and prints serialized-byte and message counts per
 //! strategy at several partition counts.
 
-use sparker_bench::{print_header, Table};
+use sparker_bench::{print_header, MetricsCsv, Table};
 use sparker_engine::cluster::LocalCluster;
 use sparker_engine::config::ClusterSpec;
 use sparker_engine::ops::split_aggregate::SplitAggOpts;
@@ -29,6 +29,7 @@ fn main() {
         "Messages",
         "Driver MiB",
     ]);
+    let mut csv = MetricsCsv::new(vec!["partitions"]);
     for partitions in [8usize, 32, 128] {
         let data = cluster
             .generate(partitions, move |p| vec![vec![p as f64; elems]; 1])
@@ -54,6 +55,7 @@ fn main() {
                     TreeAggOpts { depth: 2, imm },
                 )
                 .unwrap();
+            csv.row(vec![partitions.to_string()], &m);
             t.row(vec![
                 partitions.to_string(),
                 name.to_string(),
@@ -73,6 +75,7 @@ fn main() {
                 SplitAggOpts::default(),
             )
             .unwrap();
+        csv.row(vec![partitions.to_string()], &m);
         t.row(vec![
             partitions.to_string(),
             "split".to_string(),
@@ -82,6 +85,6 @@ fn main() {
         ]);
     }
     t.print();
-    let path = t.write_csv("ablation_imm_bytes").expect("csv");
+    let path = csv.write("ablation_imm_bytes").expect("csv");
     println!("\nwrote {}", path.display());
 }

@@ -1,0 +1,123 @@
+//! Figure 2, trace-derived — the same stage-time decomposition as
+//! `fig02_history_threaded`, but computed twice from the **same run**:
+//! once through the `History` API (the engine's Spark-history-log view) and
+//! once from the raw span trace via `sparker_obs::export::stage_breakdown`.
+//! Both views derive from the same `Stage`-layer spans, so they must agree;
+//! printing them side by side is the harness-level cross-check behind the
+//! observability PR (the test-level one lives in `tests/obs_trace.rs`).
+//!
+//! Also exports the full span trace (driver phases, stages, tasks,
+//! collective steps, transport ops, ML iterations) as Chrome trace-event
+//! JSON under `results/fig02_trace.json` — load it in Perfetto
+//! (<https://ui.perfetto.dev>) to see the paper's bottleneck visually.
+
+use sparker_bench::{fmt_secs, print_header, Table};
+use sparker_engine::cluster::LocalCluster;
+use sparker_engine::config::ClusterSpec;
+use sparker_ml::glm::AggregationMode;
+use sparker_ml::lda::{train as lda_train, LdaConfig};
+use sparker_ml::logistic::LogisticRegression;
+use sparker_ml::point::LabeledPoint;
+use sparker_obs::{export, trace};
+
+fn run_workload(cluster: &LocalCluster, which: &str, mode: AggregationMode) {
+    cluster.history().clear();
+    match which {
+        "LR" => {
+            let gen = sparker_data::profiles::avazu()
+                .feature_scaled(1e-3) // 1000 features
+                .classification_gen();
+            let parts = 2 * cluster.num_executors();
+            let data = cluster
+                .generate(parts, move |p| {
+                    gen.partition(p, parts, 1000)
+                        .into_iter()
+                        .map(LabeledPoint::from)
+                        .collect()
+                })
+                .cache();
+            data.count().unwrap();
+            LogisticRegression { iterations: 3, ..Default::default() }
+                .with_mode(mode)
+                .train(&data, 1000)
+                .unwrap();
+        }
+        _ => {
+            let profile = sparker_data::profiles::enron().scaled(2e-3).feature_scaled(0.02);
+            let gen = profile.corpus_gen(8);
+            let docs = profile.samples();
+            let vocab = profile.features();
+            let parts = 2 * cluster.num_executors();
+            let data = cluster.generate(parts, move |p| gen.partition(p, parts, docs)).cache();
+            data.count().unwrap();
+            lda_train(
+                &data,
+                LdaConfig { iterations: 3, ..LdaConfig::new(8, vocab) }.with_mode(mode),
+            )
+            .unwrap();
+        }
+    }
+}
+
+fn main() {
+    print_header(
+        "Figure 2 (trace)",
+        "Stage-time breakdown, derived independently from History and from the trace",
+        "One run, two views over the same Stage-layer spans: the History API and the\n\
+         sparker-obs exporter. Shares must match; the full trace (all layers) lands\n\
+         in results/fig02_trace.json for Perfetto.",
+    );
+    trace::enable();
+
+    let mut t = Table::new(vec![
+        "Workload",
+        "Mode",
+        "History share",
+        "Trace share",
+        "Trace top kind",
+    ]);
+    let mut all_spans = Vec::new();
+    for which in ["LR", "LDA"] {
+        for mode in [AggregationMode::Tree, AggregationMode::split()] {
+            let cluster = LocalCluster::new(ClusterSpec::bic(2, 16.0).with_shape(2, 2));
+            run_workload(&cluster, which, mode);
+
+            let history_share = cluster.history().aggregation_share();
+            let spans = trace::snapshot_scope(cluster.history().scope());
+            let breakdown = export::stage_breakdown(&spans);
+            let trace_share = breakdown.aggregation_share();
+            assert!(
+                (history_share - trace_share).abs() <= 0.05,
+                "History ({history_share:.3}) and trace ({trace_share:.3}) views diverged"
+            );
+            let top = breakdown
+                .rows
+                .first()
+                .map(|r| format!("{}={}", r.kind, fmt_secs(r.total.as_secs_f64())))
+                .unwrap_or_default();
+            t.row(vec![
+                format!("{which}"),
+                mode.name().to_string(),
+                format!("{:.1}%", history_share * 100.0),
+                format!("{:.1}%", trace_share * 100.0),
+                top,
+            ]);
+            // Collect before the cluster (and its History scope) drops. The
+            // drain also grabs this run's gated spans (scope 0); the scoped
+            // (stage/driver-phase) spans are already in `spans`.
+            all_spans.extend(spans);
+            all_spans.extend(trace::take().into_iter().filter(|s| s.scope == 0));
+        }
+    }
+    trace::disable();
+    t.print();
+    t.write_csv("fig02_trace").expect("csv");
+
+    let json = export::chrome_trace_json(&all_spans);
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/fig02_trace.json", &json).expect("trace json");
+    println!(
+        "\nwrote results/fig02_trace.csv and results/fig02_trace.json ({} spans — load in Perfetto)",
+        all_spans.len()
+    );
+}

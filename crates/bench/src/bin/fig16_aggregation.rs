@@ -14,9 +14,10 @@
 //! and nearly flat in node count (8-node time = 1.12× 1-node); IMM alone
 //! gives 1.46×; at 1 KB all three tie.
 
-use sparker_bench::{fmt_bytes, fmt_secs, print_header, Table};
+use sparker_bench::{fmt_bytes, fmt_secs, print_header, MetricsCsv, Table};
 use sparker_engine::cluster::LocalCluster;
 use sparker_engine::config::ClusterSpec;
+use sparker_engine::metrics::AggMetrics;
 use sparker_engine::ops::split_aggregate::SplitAggOpts;
 use sparker_engine::ops::tree_aggregate::TreeAggOpts;
 use sparker_net::codec::F64Array;
@@ -24,7 +25,7 @@ use sparker_sim::aggsim::{simulate_aggregation, Strategy};
 use sparker_sim::cluster::SimCluster;
 
 /// Measures one (strategy, size, nodes) point on the threaded engine.
-fn measure_threaded(nodes: usize, elems: usize, which: &str) -> f64 {
+fn measure_threaded(nodes: usize, elems: usize, which: &str) -> AggMetrics {
     const SCALE: f64 = 16.0;
     let spec = ClusterSpec::bic(nodes, SCALE).with_shape(2, 2);
     let cluster = LocalCluster::new(spec);
@@ -69,7 +70,7 @@ fn measure_threaded(nodes: usize, elems: usize, which: &str) -> f64 {
                 .1
         }
     };
-    metrics.total().as_secs_f64()
+    metrics
 }
 
 fn merge_owned(mut a: F64Array, b: F64Array) -> F64Array {
@@ -88,6 +89,7 @@ fn main() {
     println!("(capped at 64MB-equivalent so real CPU work stays negligible next to shaped");
     println!(" waits on small hosts; the simulator section below covers the 256MB row)");
     let mut tm = Table::new(vec!["Size", "Nodes", "Tree", "Tree+IMM", "Split", "Tree/Split"]);
+    let mut csv = MetricsCsv::new(vec!["size", "nodes"]);
     for (label, paper_bytes) in [("1KB", 1024.0f64), ("8MB", 8.0 * 1024.0 * 1024.0), ("64MB", 64.0 * 1024.0 * 1024.0)] {
         // Scaled message: paper/16, in f64 elements.
         let elems = ((paper_bytes / 16.0 / 8.0) as usize).max(8);
@@ -95,6 +97,14 @@ fn main() {
             let tree = measure_threaded(nodes, elems, "tree");
             let imm = measure_threaded(nodes, elems, "tree+imm");
             let split = measure_threaded(nodes, elems, "split");
+            for m in [&tree, &imm, &split] {
+                csv.row(vec![label.to_string(), nodes.to_string()], m);
+            }
+            let (tree, imm, split) = (
+                tree.total().as_secs_f64(),
+                imm.total().as_secs_f64(),
+                split.total().as_secs_f64(),
+            );
             tm.row(vec![
                 label.to_string(),
                 nodes.to_string(),
@@ -106,7 +116,7 @@ fn main() {
         }
     }
     tm.print();
-    tm.write_csv("fig16_aggregation_threaded").expect("csv");
+    csv.write("fig16_aggregation_threaded").expect("csv");
 
     println!("\n--- simulator, paper scale (BIC, partitions = 4 per executor) ---");
     let mut ts = Table::new(vec!["Size", "Nodes", "Tree", "Tree+IMM", "Split", "Tree/Split"]);

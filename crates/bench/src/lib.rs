@@ -90,6 +90,57 @@ impl Table {
     }
 }
 
+/// Full-fidelity `AggMetrics` CSV: key columns chosen by the harness
+/// (size, nodes, …) followed by every [`AggMetrics`] field via
+/// [`AggMetrics::csv_header`] / [`AggMetrics::csv_row`], so all harnesses
+/// export the same machine-readable schema instead of hand-formatting a
+/// subset of the fields.
+///
+/// [`AggMetrics`]: sparker_engine::metrics::AggMetrics
+/// [`AggMetrics::csv_header`]: sparker_engine::metrics::AggMetrics::csv_header
+/// [`AggMetrics::csv_row`]: sparker_engine::metrics::AggMetrics::csv_row
+#[derive(Debug, Clone)]
+pub struct MetricsCsv {
+    key_headers: Vec<String>,
+    rows: Vec<String>,
+}
+
+impl MetricsCsv {
+    pub fn new<S: Into<String>>(key_headers: Vec<S>) -> Self {
+        Self { key_headers: key_headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one measurement: the harness's key cells plus the metrics row.
+    pub fn row<S: Into<String>>(
+        &mut self,
+        keys: Vec<S>,
+        m: &sparker_engine::metrics::AggMetrics,
+    ) -> &mut Self {
+        let keys: Vec<String> = keys.into_iter().map(Into::into).collect();
+        assert_eq!(keys.len(), self.key_headers.len(), "key width mismatch");
+        self.rows.push(format!("{},{}", keys.join(","), m.csv_row()));
+        self
+    }
+
+    /// Writes `results/<name>.csv` with the combined header.
+    pub fn write(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(
+            f,
+            "{},{}",
+            self.key_headers.join(","),
+            sparker_engine::metrics::AggMetrics::csv_header()
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(path)
+    }
+}
+
 /// Formats seconds compactly (µs/ms/s) for table cells.
 pub fn fmt_secs(s: f64) -> String {
     if s < 1e-3 {
@@ -155,5 +206,22 @@ mod tests {
     #[test]
     fn geo_mean_matches_hand_calc() {
         assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_csv_rows_align_with_header() {
+        use sparker_engine::metrics::{AggMetrics, AggStrategy};
+        let mut c = MetricsCsv::new(vec!["size", "nodes"]);
+        c.row(vec!["8MB", "4"], &AggMetrics::new(AggStrategy::Tree));
+        let cols = 2 + AggMetrics::csv_header().split(',').count();
+        assert_eq!(c.rows[0].split(',').count(), cols);
+        assert!(c.rows[0].starts_with("8MB,4,tree,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "key width mismatch")]
+    fn metrics_csv_mismatched_keys_panic() {
+        use sparker_engine::metrics::{AggMetrics, AggStrategy};
+        MetricsCsv::new(vec!["a", "b"]).row(vec!["only"], &AggMetrics::new(AggStrategy::Tree));
     }
 }

@@ -25,17 +25,37 @@ fn ring_allgather_pass<S: sparker_net::codec::Payload>(
     n: usize,
 ) -> NetResult<Vec<S>> {
     let rank = comm.rank();
+    let (op, attempt) = comm.epoch();
     let mut blocks: Vec<Option<S>> = (0..n).map(|_| None).collect();
     let own_idx = (rank + 1) % n;
     let mut current = owned.to_frame();
     blocks[own_idx] = Some(owned);
     for step in 0..n - 1 {
+        let started = sparker_obs::enabled().then(std::time::Instant::now);
+        let sent_bytes = current.len() as u64;
         comm.send_next(channel, current.clone())?;
         let incoming = comm.recv_prev(channel)?;
         // The previous rank forwarded the block it acquired at step-1, which
         // is global index (prev_rank + 1 - step) mod n = (rank - step) mod n.
         let idx = (rank + n - step) % n;
         blocks[idx] = Some(S::from_frame(incoming.clone())?);
+        if let Some(t0) = started {
+            sparker_obs::trace::event_dur(
+                sparker_obs::Layer::Step,
+                "allgather.step",
+                t0,
+                &[
+                    ("step", step as u64),
+                    ("channel", channel as u64),
+                    ("rank", rank as u64),
+                    ("peer", ((rank + 1) % n) as u64),
+                    ("send_bytes", sent_bytes),
+                    ("recv_bytes", incoming.len() as u64),
+                    ("op", op),
+                    ("epoch", attempt as u64),
+                ],
+            );
+        }
         current = incoming;
     }
     blocks

@@ -103,15 +103,40 @@ where
     let rank = comm.rank();
     let mut segments = segments;
 
+    let (ep_op, ep_attempt) = comm.epoch();
+    let step_event = |name: &str, t0: Option<std::time::Instant>, round: usize, peer: usize, bytes: u64| {
+        if let Some(t0) = t0 {
+            sparker_obs::trace::event_dur(
+                sparker_obs::Layer::Step,
+                name,
+                t0,
+                &[
+                    ("round", round as u64),
+                    ("rank", rank as u64),
+                    ("peer", peer as u64),
+                    ("bytes", bytes),
+                    ("op", ep_op),
+                    ("epoch", ep_attempt as u64),
+                ],
+            );
+        }
+    };
+
     // Pre-fold: ranks 0..2r pair up (even, odd). Odd ranks fold everything
     // into the even partner and drop out.
     let active_rank: Option<usize> = if rank < 2 * r {
+        let t0 = sparker_obs::enabled().then(std::time::Instant::now);
         if rank % 2 == 1 {
-            comm.send_to_rank(rank - 1, 0, encode_range(&segments, 0, m))?;
+            let frame = encode_range(&segments, 0, m);
+            let bytes = frame.len() as u64;
+            comm.send_to_rank(rank - 1, 0, frame)?;
+            step_event("halving.fold", t0, 0, rank - 1, bytes);
             None
         } else {
             let frame = comm.recv_from_rank(rank + 1, 0)?;
+            let bytes = frame.len() as u64;
             merge_range(&mut segments, 0, m, frame, merge)?;
+            step_event("halving.fold", t0, 0, rank + 1, bytes);
             Some(rank / 2)
         }
     } else {
@@ -134,6 +159,7 @@ where
     // Recursive halving among the p2 active ranks.
     let (mut lo, mut hi) = (0usize, m);
     let mut dist = p2 / 2;
+    let mut round = 0usize;
     while dist >= 1 {
         let partner = arank ^ dist;
         let mid = lo + (hi - lo) / 2;
@@ -143,12 +169,17 @@ where
         } else {
             ((mid, hi), (lo, mid))
         };
-        comm.send_to_rank(ring_rank_of(partner), 0, encode_range(&segments, give.0, give.1))?;
+        let t0 = sparker_obs::enabled().then(std::time::Instant::now);
+        let out_frame = encode_range(&segments, give.0, give.1);
+        let out_bytes = out_frame.len() as u64;
+        comm.send_to_rank(ring_rank_of(partner), 0, out_frame)?;
         let frame = comm.recv_from_rank(ring_rank_of(partner), 0)?;
         merge_range(&mut segments, keep.0, keep.1, frame, merge)?;
+        step_event("halving.step", t0, round + 1, ring_rank_of(partner), out_bytes);
         lo = keep.0;
         hi = keep.1;
         dist /= 2;
+        round += 1;
     }
 
     Ok(segments

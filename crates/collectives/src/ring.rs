@@ -113,12 +113,35 @@ where
 {
     let n = comm.size();
     let rank = comm.rank();
+    let (op, attempt) = comm.epoch();
     for step in 0..n - 1 {
         let send_idx = (rank + n - step) % n;
         let recv_idx = (rank + 2 * n - step - 1) % n;
-        comm.send_next(channel, chunk[send_idx].to_frame())?;
-        let incoming = V::from_frame(comm.recv_prev(channel)?)?;
+        let started = sparker_obs::enabled().then(std::time::Instant::now);
+        let frame = chunk[send_idx].to_frame();
+        let sent_bytes = frame.len() as u64;
+        comm.send_next(channel, frame)?;
+        let incoming_frame = comm.recv_prev(channel)?;
+        let recv_bytes = incoming_frame.len() as u64;
+        let incoming = V::from_frame(incoming_frame)?;
         merge(&mut chunk[recv_idx], incoming);
+        if let Some(t0) = started {
+            sparker_obs::trace::event_dur(
+                sparker_obs::Layer::Step,
+                "ring.step",
+                t0,
+                &[
+                    ("step", step as u64),
+                    ("channel", channel as u64),
+                    ("rank", rank as u64),
+                    ("peer", ((rank + 1) % n) as u64),
+                    ("send_bytes", sent_bytes),
+                    ("recv_bytes", recv_bytes),
+                    ("op", op),
+                    ("epoch", attempt as u64),
+                ],
+            );
+        }
     }
     Ok(())
 }

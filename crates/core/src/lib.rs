@@ -80,6 +80,7 @@
 //!
 //! | crate | role |
 //! |---|---|
+//! | [`sparker_obs`] | span tracing, metrics, Chrome-trace + Fig 2 exporters |
 //! | [`sparker_net`] | codec, shaped transports, PDR topology |
 //! | [`sparker_collectives`] | ring reduce-scatter, tree, halving, allreduce |
 //! | [`sparker_engine`] | RDDs, driver/executors, tree & split aggregation, IMM |
@@ -92,6 +93,7 @@ pub use sparker_data as data;
 pub use sparker_engine as engine;
 pub use sparker_ml as ml;
 pub use sparker_net as net;
+pub use sparker_obs as obs;
 
 /// Ready-made SAI callbacks for dense `f64` aggregators (the shape every
 /// paper workload uses — Figure 7's `Array[Double]` pairs).

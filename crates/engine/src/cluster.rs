@@ -274,6 +274,12 @@ impl ClusterInner {
         &self.executors[id.index()].ctx
     }
 
+    /// The cluster's stage history (ops record op-phase spans under its
+    /// trace scope so driver phases and stages share one timeline).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
     /// Builds the PDR ring over the executors with `parallelism` channels.
     pub fn build_ring(&self, parallelism: usize) -> Arc<RingTopology> {
         assert!((1..=SC_CHANNELS).contains(&parallelism));
@@ -387,7 +393,16 @@ impl ClusterInner {
         if n == 0 {
             return Ok((Vec::new(), 0));
         }
-        let stage_start = std::time::Instant::now();
+        // The stage span doubles as the stage stopwatch and the History
+        // record: finishing it writes the Stage-layer span the history view
+        // (and the Fig 2 exporters) derive from. An error return drops it
+        // unfinished — failed stages are not logged, as before.
+        let stage_span = sparker_obs::trace::ScopedSpan::begin(
+            self.history.scope(),
+            sparker_obs::Layer::Stage,
+            label,
+        );
+        let stage_span_id = stage_span.id();
         let make = Arc::new(make);
         let (tx, rx) = channel::<(usize, Result<R, TaskFailure>)>();
 
@@ -399,11 +414,23 @@ impl ClusterInner {
             let armed = self.fault_plan.is_armed();
             let me: Arc<ClusterInner> = self.clone();
             let job: Job = Box::new(move |ctx| {
+                // Gated per-attempt task span, parented to the driver's
+                // stage span across the executor-thread boundary.
+                let mut task_span = sparker_obs::trace::span_with_parent(
+                    sparker_obs::Layer::Task,
+                    label.as_str(),
+                    stage_span_id,
+                );
+                task_span
+                    .arg("task", idx as u64)
+                    .arg("attempt", attempt as u64)
+                    .arg("executor", ctx.executor.0 as u64);
                 let result = if armed && me.fault_plan.should_fail(&label, idx, attempt) {
                     Err(TaskFailure { reason: format!("injected fault (attempt {attempt})") })
                 } else {
                     make(idx, attempt, ctx)
                 };
+                drop(task_span);
                 let _ = tx.send((idx, result));
             });
             let executor = assignments[idx];
@@ -544,8 +571,9 @@ impl ClusterInner {
             self.gang_cancel.lock().remove(op);
         }
         let out = results.into_iter().map(|r| r.expect("completed")).collect();
-        self.history
-            .record(label, n as u32, total_attempts, stage_start.elapsed());
+        let mut stage_span = stage_span;
+        stage_span.arg("tasks", n as u64).arg("attempts", total_attempts as u64);
+        stage_span.finish();
         Ok((out, total_attempts))
     }
 }

@@ -6,10 +6,17 @@
 //! aggregation into its compute and reduce stages (Figures 3–4). The engine
 //! records the same information for every stage it runs, so the same
 //! analysis can be replayed against this reproduction's real executions.
+//!
+//! Since the observability PR, `History` is a **derived view over the
+//! trace**: each recorded stage is a `Stage`-layer span in the
+//! [`sparker_obs`] global sink, tagged with this history's scope id, and
+//! every query here re-derives from those spans. The same spans appear in
+//! exported Chrome traces and in [`sparker_obs::export::stage_breakdown`] —
+//! one source of truth for both the programmatic and the exported views.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use sparker_net::sync::Mutex;
+use sparker_obs::{trace, Layer};
 
 /// One completed stage (including all resubmissions).
 #[derive(Debug, Clone, PartialEq)]
@@ -27,27 +34,30 @@ pub struct StageEvent {
 }
 
 impl StageEvent {
-    /// The stage kind: the label with its `-op<N>[...]` suffix stripped
-    /// (also drops shuffle level suffixes like `-op7-l1`).
+    /// The stage kind: the label truncated at the first `-op` that is
+    /// immediately followed by a digit, which also drops any trailing
+    /// suffixes after the op id (shuffle levels, rounds):
+    ///
+    /// * `tree-shuffle-op7-l1` → `tree-shuffle`
+    /// * `split-ring-op9-l2-r1` → `split-ring` (multi-suffix)
+    /// * `collect` → `collect` (no `-op` marker)
+    /// * `weird-op` → `weird-op` (trailing `-op` without digits is not a
+    ///   marker)
+    /// * `x-op-y-op7-l1` → `x-op-y` (first digit-followed marker wins)
+    ///
+    /// Delegates to [`sparker_obs::export::stage_kind`], the same
+    /// classifier the trace exporters use for the Fig 2 breakdown.
     pub fn kind(&self) -> &str {
-        match self.label.rfind("-op") {
-            Some(idx)
-                if self.label[idx + 3..]
-                    .chars()
-                    .next()
-                    .is_some_and(|c| c.is_ascii_digit()) =>
-            {
-                &self.label[..idx]
-            }
-            _ => &self.label,
-        }
+        sparker_obs::export::stage_kind(&self.label)
     }
 }
 
-/// Append-only per-cluster stage log.
+/// Append-only per-cluster stage log, stored as `Stage`-layer spans in the
+/// process trace sink under this history's scope.
 pub struct History {
-    start: Instant,
-    events: Mutex<Vec<StageEvent>>,
+    scope: u64,
+    /// Cluster start, as nanoseconds since the process trace epoch.
+    start_ns: u64,
 }
 
 impl Default for History {
@@ -58,56 +68,69 @@ impl Default for History {
 
 impl History {
     pub fn new() -> Self {
-        Self { start: Instant::now(), events: Mutex::new(Vec::new()) }
+        Self { scope: trace::next_scope(), start_ns: trace::now_ns() }
     }
 
-    /// Records one completed stage.
+    /// The trace scope id this history's spans are tagged with. `run_stage`
+    /// uses it to parent task spans, and exporters can use it to isolate
+    /// one cluster's records.
+    pub fn scope(&self) -> u64 {
+        self.scope
+    }
+
+    /// Records one completed stage (back-dating the span start by `wall`).
     pub fn record(&self, label: &str, tasks: u32, attempts: u32, wall: Duration) {
-        self.events.lock().push(StageEvent {
-            label: label.to_string(),
-            tasks,
-            attempts,
+        trace::record_manual(
+            self.scope,
+            Layer::Stage,
+            label,
             wall,
-            completed_at: self.start.elapsed(),
-        });
+            &[("tasks", tasks as u64), ("attempts", attempts as u64)],
+        );
+    }
+
+    fn event_of(&self, r: &trace::SpanRecord) -> StageEvent {
+        StageEvent {
+            label: r.name.clone(),
+            tasks: r.arg("tasks").unwrap_or(0) as u32,
+            attempts: r.arg("attempts").unwrap_or(0) as u32,
+            wall: Duration::from_nanos(r.dur_ns),
+            completed_at: Duration::from_nanos(r.end_ns().saturating_sub(self.start_ns)),
+        }
     }
 
     /// A copy of all events so far, in completion order.
     pub fn snapshot(&self) -> Vec<StageEvent> {
-        self.events.lock().clone()
+        trace::snapshot_scope(self.scope)
+            .iter()
+            .filter(|r| r.layer == Layer::Stage)
+            .map(|r| self.event_of(r))
+            .collect()
     }
 
     /// Total wall time of stages whose label starts with `prefix`.
     pub fn time_with_prefix(&self, prefix: &str) -> Duration {
-        self.events
-            .lock()
-            .iter()
-            .filter(|e| e.label.starts_with(prefix))
-            .map(|e| e.wall)
-            .sum()
+        self.snapshot().iter().filter(|e| e.label.starts_with(prefix)).map(|e| e.wall).sum()
     }
 
     /// Total stage wall time (stages may overlap driver work; this is the
     /// paper's stage-sum denominator, not end-to-end time).
     pub fn total_stage_time(&self) -> Duration {
-        self.events.lock().iter().map(|e| e.wall).sum()
+        self.snapshot().iter().map(|e| e.wall).sum()
     }
 
     /// The fraction of stage time spent in aggregation stages (compute,
-    /// shuffle, ring, final) — the statistic behind Figure 2.
+    /// shuffle, ring, final) — the statistic behind Figure 2. Classification
+    /// is shared with [`sparker_obs::export::is_aggregation_kind`].
     pub fn aggregation_share(&self) -> f64 {
-        let total = self.total_stage_time().as_secs_f64();
+        let events = self.snapshot();
+        let total: f64 = events.iter().map(|e| e.wall.as_secs_f64()).sum();
         if total == 0.0 {
             return 0.0;
         }
-        let agg: f64 = self
-            .events
-            .lock()
+        let agg: f64 = events
             .iter()
-            .filter(|e| {
-                let k = e.kind();
-                k.starts_with("tree-") || k.starts_with("split-") || k.starts_with("allreduce-")
-            })
+            .filter(|e| sparker_obs::export::is_aggregation_kind(e.kind()))
             .map(|e| e.wall.as_secs_f64())
             .sum();
         agg / total
@@ -116,7 +139,7 @@ impl History {
     /// Per-kind (label sans op ids) totals, sorted by descending time.
     pub fn summary(&self) -> Vec<(String, Duration, u32)> {
         let mut map: std::collections::BTreeMap<String, (Duration, u32)> = Default::default();
-        for e in self.events.lock().iter() {
+        for e in self.snapshot() {
             let entry = map.entry(e.kind().to_string()).or_default();
             entry.0 += e.wall;
             entry.1 += e.attempts;
@@ -129,7 +152,16 @@ impl History {
 
     /// Drops all recorded events (between benchmark phases).
     pub fn clear(&self) {
-        self.events.lock().clear();
+        trace::clear_scope(self.scope);
+    }
+}
+
+impl Drop for History {
+    /// A history owns its scope's spans; reclaim them so long-lived
+    /// processes (benchmark sweeps creating many clusters) don't accumulate
+    /// dead clusters' stage records in the global sink.
+    fn drop(&mut self) {
+        trace::clear_scope(self.scope);
     }
 }
 
@@ -166,6 +198,28 @@ mod tests {
     }
 
     #[test]
+    fn kind_handles_multi_suffix_and_degenerate_labels() {
+        let mk = |label: &str| StageEvent {
+            label: label.into(),
+            tasks: 1,
+            attempts: 1,
+            wall: Duration::ZERO,
+            completed_at: Duration::ZERO,
+        };
+        // Multi-suffix: everything after the op marker goes, not just the
+        // last dash-group.
+        assert_eq!(mk("split-ring-op9-l2-r1").kind(), "split-ring");
+        // No -op at all.
+        assert_eq!(mk("broadcast").kind(), "broadcast");
+        // Trailing -op with no digits is part of the kind, not a marker.
+        assert_eq!(mk("weird-op").kind(), "weird-op");
+        assert_eq!(mk("trailing-op-").kind(), "trailing-op-");
+        // A non-marker -op followed later by a real marker: first real
+        // marker wins, the literal -op- stays in the kind.
+        assert_eq!(mk("x-op-y-op7-l1").kind(), "x-op-y");
+    }
+
+    #[test]
     fn aggregation_share_counts_agg_stages_only() {
         let h = History::new();
         h.record("count", 4, 4, Duration::from_millis(30));
@@ -195,5 +249,35 @@ mod tests {
         h.clear();
         assert!(h.snapshot().is_empty());
         assert_eq!(h.aggregation_share(), 0.0);
+    }
+
+    #[test]
+    fn histories_are_isolated_and_reclaimed_on_drop() {
+        let a = History::new();
+        let b = History::new();
+        a.record("a-stage", 1, 1, Duration::from_millis(1));
+        b.record("b-stage", 1, 1, Duration::from_millis(2));
+        assert_eq!(a.snapshot().len(), 1);
+        assert_eq!(a.snapshot()[0].label, "a-stage");
+        assert_eq!(b.snapshot()[0].label, "b-stage");
+        let scope = a.scope();
+        drop(a);
+        assert!(
+            sparker_obs::trace::snapshot_scope(scope).is_empty(),
+            "dropped history left spans in the sink"
+        );
+        assert_eq!(b.snapshot().len(), 1, "sibling history unaffected");
+    }
+
+    #[test]
+    fn events_are_visible_to_trace_exporters() {
+        let h = History::new();
+        h.record("tree-compute-op4", 2, 2, Duration::from_millis(8));
+        let spans = sparker_obs::trace::snapshot_scope(h.scope());
+        let b = sparker_obs::export::stage_breakdown(&spans);
+        assert_eq!(b.rows.len(), 1);
+        assert_eq!(b.rows[0].kind, "tree-compute");
+        assert!(b.rows[0].aggregation);
+        assert!((b.aggregation_share() - 1.0).abs() < 1e-9);
     }
 }

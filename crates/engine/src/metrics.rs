@@ -80,6 +80,30 @@ impl AggMetrics {
     pub fn total(&self) -> Duration {
         self.compute + self.reduce
     }
+
+    /// Column names matching [`AggMetrics::csv_row`]. Bench bins prepend
+    /// their own key columns (dimension, executors, …) to both.
+    pub fn csv_header() -> &'static str {
+        "strategy,compute_s,reduce_s,driver_merge_s,total_s,ser_bytes,bytes_to_driver,messages,stages,task_attempts,downgraded"
+    }
+
+    /// One CSV row of every field, in [`AggMetrics::csv_header`] order.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{}",
+            self.strategy.name(),
+            self.compute.as_secs_f64(),
+            self.reduce.as_secs_f64(),
+            self.driver_merge.as_secs_f64(),
+            self.total().as_secs_f64(),
+            self.ser_bytes,
+            self.bytes_to_driver,
+            self.messages,
+            self.stages,
+            self.task_attempts,
+            self.downgraded as u8,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +124,26 @@ mod tests {
         m.compute = Duration::from_millis(10);
         m.reduce = Duration::from_millis(5);
         assert_eq!(m.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity_and_values() {
+        let mut m = AggMetrics::new(AggStrategy::Split);
+        m.compute = Duration::from_millis(250);
+        m.reduce = Duration::from_millis(750);
+        m.ser_bytes = 1024;
+        m.bytes_to_driver = 128;
+        m.messages = 7;
+        m.stages = 2;
+        m.task_attempts = 9;
+        m.downgraded = true;
+        let header: Vec<&str> = AggMetrics::csv_header().split(',').collect();
+        let row = m.csv_row();
+        let cells: Vec<&str> = row.split(',').collect();
+        assert_eq!(header.len(), cells.len(), "row arity matches header");
+        assert_eq!(cells[0], "split");
+        assert_eq!(cells[4], "1.000000000"); // total_s
+        assert_eq!(cells[5], "1024");
+        assert_eq!(cells[10], "1");
     }
 }

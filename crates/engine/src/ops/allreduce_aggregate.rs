@@ -17,7 +17,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+
+use sparker_obs::trace::ScopedSpan;
+use sparker_obs::Layer;
 
 use sparker_net::codec::Payload;
 use sparker_net::topology::ExecutorId;
@@ -83,9 +85,13 @@ where
     let parallelism = parallelism.unwrap_or(inner.spec().ring_parallelism);
     let mut metrics = AggMetrics::new(AggStrategy::Split);
     let ser_bytes = Arc::new(AtomicU64::new(0));
+    // Op phases are Driver-layer scoped spans; AggMetrics durations are read
+    // back from them, so the metrics view and the exported trace agree.
+    let scope = inner.history().scope();
 
     // --- Stage 1: reduced-result stage (IMM, LocalFold) ------------------
-    let t0 = Instant::now();
+    let compute_span =
+        ScopedSpan::begin(scope, Layer::Driver, format!("allreduce-compute-op{op}"));
     let assignments = partition_assignments(&inner, &rdd);
     {
         let rdd = rdd.clone();
@@ -110,10 +116,11 @@ where
         metrics.task_attempts += attempts;
         metrics.stages += 1;
     }
-    metrics.compute = t0.elapsed();
+    metrics.compute = compute_span.finish();
 
     // --- Stage 2: ring reduce-scatter + allgather on every executor ------
-    let t1 = Instant::now();
+    let reduce_span =
+        ScopedSpan::begin(scope, Layer::Driver, format!("allreduce-reduce-op{op}"));
     let sc_before = cluster.sc_stats();
     let ring = inner.build_ring(parallelism);
     let n = ring.size();
@@ -190,7 +197,7 @@ where
     let frame = inner.driver_recv(reporter)?;
     metrics.bytes_to_driver = frame.len() as u64;
     let value = V::from_frame(frame)?;
-    metrics.reduce = t1.elapsed();
+    metrics.reduce = reduce_span.finish();
     let sc_after = cluster.sc_stats();
     metrics.ser_bytes = ser_bytes.load(Ordering::Relaxed) + (sc_after.bytes - sc_before.bytes);
     metrics.messages = (sc_after.messages - sc_before.messages) + 1;

@@ -25,7 +25,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+
+use sparker_obs::trace::ScopedSpan;
+use sparker_obs::Layer;
 
 use sparker_net::codec::{Decoder, Encoder, Payload};
 use sparker_net::topology::ExecutorId;
@@ -133,9 +135,13 @@ where
     };
     let mut metrics = AggMetrics::new(strategy);
     let ser_bytes = Arc::new(AtomicU64::new(0));
+    // Op phases are Driver-layer scoped spans; AggMetrics durations are read
+    // back from them, so the metrics view and the exported trace agree.
+    let scope = inner.history().scope();
 
     // --- Stage 1: reduced-result stage (IMM) ----------------------------
-    let t0 = Instant::now();
+    let compute_span =
+        ScopedSpan::begin(scope, Layer::Driver, format!("{}-compute-op{op}", strategy.name()));
     let assignments = partition_assignments(&inner, &rdd);
     let imm_label = format!("split-imm-op{op}");
     {
@@ -176,10 +182,11 @@ where
         metrics.task_attempts += attempts;
         metrics.stages += 1;
     }
-    metrics.compute = t0.elapsed();
+    metrics.compute = compute_span.finish();
 
     // --- Stage 2: SpawnRDD ring stage ------------------------------------
-    let t1 = Instant::now();
+    let reduce_span =
+        ScopedSpan::begin(scope, Layer::Driver, format!("{}-reduce-op{op}", strategy.name()));
     let sc_before = cluster.sc_stats();
     let ring = inner.build_ring(parallelism);
     let n = ring.size();
@@ -284,7 +291,11 @@ where
             metrics.stages += 1;
 
             // --- Driver: gather + concat --------------------------------
-            let td = Instant::now();
+            let merge_span = ScopedSpan::begin(
+                scope,
+                Layer::Driver,
+                format!("{}-driver-merge-op{op}", strategy.name()),
+            );
             let mut slots: Vec<Option<V>> = (0..total_segments).map(|_| None).collect();
             for exec in &all_execs {
                 let frame = inner.driver_recv(*exec)?;
@@ -308,7 +319,7 @@ where
                 .map(|(i, s)| s.ok_or_else(|| EngineError::Invalid(format!("segment {i} missing"))))
                 .collect::<EngineResult<_>>()?;
             let result = concat_op(segments);
-            metrics.driver_merge = td.elapsed();
+            metrics.driver_merge = merge_span.finish();
             extra_messages = nexec as u64;
             result
         }
@@ -417,7 +428,11 @@ where
                 metrics.stages += 1;
             }
 
-            let td = Instant::now();
+            let merge_span = ScopedSpan::begin(
+                scope,
+                Layer::Driver,
+                format!("{}-driver-merge-op{op}", strategy.name()),
+            );
             let mut acc: Vec<V> = Vec::new();
             for exec in &final_assignments {
                 let frame = inner.driver_recv(*exec)?;
@@ -438,7 +453,7 @@ where
                 )));
             }
             let result = concat_op(acc);
-            metrics.driver_merge = td.elapsed();
+            metrics.driver_merge = merge_span.finish();
             extra_messages = messages.load(Ordering::Relaxed) + final_assignments.len() as u64;
             result
         }
@@ -450,7 +465,7 @@ where
     for e in &all_execs {
         inner.executor_ctx(*e).objects.clear_op(op);
     }
-    metrics.reduce = t1.elapsed();
+    metrics.reduce = reduce_span.finish();
 
     let sc_after = cluster.sc_stats();
     metrics.ser_bytes =

@@ -21,7 +21,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+
+use sparker_obs::trace::ScopedSpan;
+use sparker_obs::Layer;
 
 use sparker_net::codec::{Decoder, Encoder, Payload};
 use sparker_net::topology::ExecutorId;
@@ -84,9 +86,16 @@ where
     let mut metrics = AggMetrics::new(if opts.imm { AggStrategy::TreeImm } else { AggStrategy::Tree });
     let ser_bytes = Arc::new(AtomicU64::new(0));
     let messages = Arc::new(AtomicU64::new(0));
+    // Op phases are Driver-layer scoped spans; AggMetrics durations are read
+    // back from them, so the metrics view and the exported trace agree.
+    let scope = inner.history().scope();
 
     // --- Stage 1: compute partition aggregators -------------------------
-    let t0 = Instant::now();
+    let compute_span = ScopedSpan::begin(
+        scope,
+        Layer::Driver,
+        format!("{}-compute-op{op}", metrics.strategy.name()),
+    );
     let stage_label = format!("tree-compute-op{op}");
     let (policy, imm) = if opts.imm {
         (RecoveryPolicy::ResubmitStage { op }, true)
@@ -117,7 +126,7 @@ where
         metrics.task_attempts += attempts;
         metrics.stages += 1;
     }
-    metrics.compute = t0.elapsed();
+    metrics.compute = compute_span.finish();
 
     // Holders of live aggregators after the compute stage.
     let mut holders: Vec<(ExecutorId, u64)> = if opts.imm {
@@ -130,7 +139,11 @@ where
     };
 
     // --- Shuffle rounds --------------------------------------------------
-    let t1 = Instant::now();
+    let reduce_span = ScopedSpan::begin(
+        scope,
+        Layer::Driver,
+        format!("{}-reduce-op{op}", metrics.strategy.name()),
+    );
     let scale = tree_scale(parts, opts.depth);
     let mut level: u64 = 1;
     while holders.len() > scale + holders.len() / scale {
@@ -170,7 +183,11 @@ where
         metrics.stages += 1;
     }
 
-    let td = Instant::now();
+    let merge_span = ScopedSpan::begin(
+        scope,
+        Layer::Driver,
+        format!("{}-driver-merge-op{op}", metrics.strategy.name()),
+    );
     let mut acc = zero;
     for exec in &final_assignments {
         let frame = inner.driver_recv(*exec)?;
@@ -178,8 +195,8 @@ where
         let u = U::from_frame(frame)?;
         acc = comb(acc, u);
     }
-    metrics.driver_merge = td.elapsed();
-    metrics.reduce = t1.elapsed();
+    metrics.driver_merge = merge_span.finish();
+    metrics.reduce = reduce_span.finish();
     // Final-stage frames were already counted by the task-side atomics.
     metrics.ser_bytes = ser_bytes.load(Ordering::Relaxed);
     metrics.messages = messages.load(Ordering::Relaxed);

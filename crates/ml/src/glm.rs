@@ -184,6 +184,8 @@ pub fn run_gradient_descent(
     let mut records = Vec::with_capacity(cfg.iterations);
 
     for it in 0..cfg.iterations {
+        let mut iter_span = sparker_obs::trace::span(sparker_obs::Layer::Ml, "ml.iteration");
+        iter_span.arg("iteration", it as u64);
         // Broadcast the model like MLlib does every iteration: the driver
         // serializes once, every executor receives and pins a replica, and
         // the fold reads the executor-local copy (see engine::broadcast).

@@ -95,6 +95,8 @@ pub fn minimize(
     let mut records = Vec::new();
     let mut eval_count = 0usize;
     let mut eval = |w: &[f64], records: &mut Vec<LbfgsRecord>| -> EngineResult<(f64, Vec<f64>)> {
+        let mut eval_span = sparker_obs::trace::span(sparker_obs::Layer::Ml, "ml.evaluation");
+        eval_span.arg("evaluation", eval_count as u64);
         let (loss, grad, metrics) = evaluate(data, w, kind, cfg.reg_param, cfg.mode)?;
         records.push(LbfgsRecord { evaluation: eval_count, loss, metrics });
         eval_count += 1;
@@ -107,6 +109,8 @@ pub fn minimize(
     let mut y_hist: Vec<Vec<f64>> = Vec::new();
 
     for _iter in 0..cfg.max_iterations {
+        let mut iter_span = sparker_obs::trace::span(sparker_obs::Layer::Ml, "ml.iteration");
+        iter_span.arg("iteration", _iter as u64);
         // Two-loop recursion for the search direction d = -H g.
         let mut q = grad.clone();
         let k = s_hist.len();

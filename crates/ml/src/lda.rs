@@ -189,6 +189,8 @@ pub fn train(
     let mut records = Vec::with_capacity(cfg.iterations);
 
     for it in 0..cfg.iterations {
+        let mut iter_span = sparker_obs::trace::span(sparker_obs::Layer::Ml, "ml.iteration");
+        iter_span.arg("iteration", it as u64);
         // Broadcast the normalized topic-word matrix (the paper's huge
         // per-iteration payload: ~78 MiB at nytimes/K=100 scale).
         let bc = data.cluster().broadcast(crate::aggregator::DenseAgg::from(

@@ -16,7 +16,9 @@
 //! as in the paper.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use sparker_obs::{trace, Layer};
 
 use crate::bytebuf::ByteBuf;
 
@@ -80,17 +82,39 @@ impl Transport for BlockManagerTransport {
     }
 
     fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()> {
+        // The put span covers registration RPC + wire handoff — the full
+        // cost the paper attributes to a BlockManager `put`.
+        let started = trace::enabled().then(Instant::now);
+        let bytes = msg.len() as u64;
         // Synchronous block registration with the master before the data
         // becomes fetchable.
         wait_for(self.scaled(self.costs.control_rpc));
-        self.inner.send(from, to, channel, msg)
+        self.inner.send(from, to, channel, msg)?;
+        if let Some(t0) = started {
+            trace::event_dur(
+                Layer::Net,
+                "bm.put",
+                t0,
+                &[("from", from.0 as u64), ("to", to.0 as u64), ("bytes", bytes)],
+            );
+        }
+        Ok(())
     }
 
     fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<ByteBuf> {
+        let started = trace::enabled().then(Instant::now);
         let msg = self.inner.recv(at, from, channel)?;
         // Location lookup RPC + average polling delay before the fetch
         // observes the registered block.
         wait_for(self.scaled(self.costs.control_rpc + self.costs.poll_quantum));
+        if let Some(t0) = started {
+            trace::event_dur(
+                Layer::Net,
+                "bm.fetch",
+                t0,
+                &[("at", at.0 as u64), ("from", from.0 as u64), ("bytes", msg.len() as u64)],
+            );
+        }
         Ok(msg)
     }
 
@@ -101,8 +125,17 @@ impl Transport for BlockManagerTransport {
         channel: usize,
         timeout: Duration,
     ) -> NetResult<ByteBuf> {
+        let started = trace::enabled().then(Instant::now);
         let msg = self.inner.recv_timeout(at, from, channel, timeout)?;
         wait_for(self.scaled(self.costs.control_rpc + self.costs.poll_quantum));
+        if let Some(t0) = started {
+            trace::event_dur(
+                Layer::Net,
+                "bm.fetch",
+                t0,
+                &[("at", at.0 as u64), ("from", from.0 as u64), ("bytes", msg.len() as u64)],
+            );
+        }
         Ok(msg)
     }
 

@@ -17,6 +17,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
+use sparker_obs::{trace, Layer};
+
 use crate::bytebuf::ByteBuf;
 use crate::error::{NetError, NetResult};
 use crate::sync::Mutex;
@@ -182,11 +184,21 @@ impl Transport for FaultyTransport {
     }
 
     fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()> {
+        let fault_event = |name: &str| {
+            trace::event(Layer::Net, name, &[("from", from.0 as u64), ("to", to.0 as u64)]);
+        };
         match self.judge(from, to) {
-            Verdict::SenderDead => Err(NetError::Disconnected),
-            Verdict::Drop => Ok(()),
+            Verdict::SenderDead => {
+                fault_event("fault.dead");
+                Err(NetError::Disconnected)
+            }
+            Verdict::Drop => {
+                fault_event("fault.drop");
+                Ok(())
+            }
             Verdict::Forward => self.inner.send(from, to, channel, msg),
             Verdict::Corrupt => {
+                fault_event("fault.corrupt");
                 let mut bytes = msg.to_vec();
                 if let Some(last) = bytes.last_mut() {
                     *last ^= 0x01;
@@ -194,6 +206,7 @@ impl Transport for FaultyTransport {
                 self.inner.send(from, to, channel, ByteBuf::from(bytes))
             }
             Verdict::Delay(d) => {
+                fault_event("fault.delay");
                 std::thread::sleep(d);
                 self.inner.send(from, to, channel, msg)
             }

@@ -20,8 +20,12 @@
 //! on a shared resource are served back-to-back, never in parallel.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+use sparker_obs::metrics::{self, Counter, Histogram};
+use sparker_obs::trace;
+use sparker_obs::Layer;
 
 use crate::bytebuf::ByteBuf;
 use crate::sync::{channel, Mutex, Receiver, RecvTimeoutError, Sender};
@@ -79,6 +83,67 @@ pub struct NetStatsSnapshot {
 struct InFlight {
     deliver_at: Instant,
     payload: ByteBuf,
+}
+
+/// Gated trace/metrics hooks for the wire layer. Span names are keyed by
+/// the transport kind so an exported trace distinguishes SC traffic from
+/// the MPI reference and the BlockManager strawman's wire leg.
+fn send_span_name(kind: TransportKind) -> &'static str {
+    match kind {
+        TransportKind::MpiRef => "mpi.send",
+        TransportKind::ScalableComm => "sc.send",
+        TransportKind::BlockManager => "bmwire.send",
+    }
+}
+
+fn recv_span_name(kind: TransportKind) -> &'static str {
+    match kind {
+        TransportKind::MpiRef => "mpi.recv",
+        TransportKind::ScalableComm => "sc.recv",
+        TransportKind::BlockManager => "bmwire.recv",
+    }
+}
+
+fn record_send(kind: TransportKind, from: ExecutorId, to: ExecutorId, channel: usize, bytes: usize) {
+    static SENDS: OnceLock<Arc<Counter>> = OnceLock::new();
+    static SEND_BYTES: OnceLock<Arc<Counter>> = OnceLock::new();
+    static MSG_BYTES: OnceLock<Arc<Histogram>> = OnceLock::new();
+    trace::event(
+        Layer::Net,
+        send_span_name(kind),
+        &[
+            ("from", from.0 as u64),
+            ("to", to.0 as u64),
+            ("channel", channel as u64),
+            ("bytes", bytes as u64),
+        ],
+    );
+    SENDS.get_or_init(|| metrics::counter("net.send.messages")).inc();
+    SEND_BYTES.get_or_init(|| metrics::counter("net.send.bytes")).add(bytes as u64);
+    MSG_BYTES.get_or_init(|| metrics::histogram("net.msg_bytes")).observe(bytes as u64);
+}
+
+fn record_recv(
+    kind: TransportKind,
+    at: ExecutorId,
+    from: ExecutorId,
+    channel: usize,
+    bytes: usize,
+    started: Instant,
+) {
+    static RECVS: OnceLock<Arc<Counter>> = OnceLock::new();
+    trace::event_dur(
+        Layer::Net,
+        recv_span_name(kind),
+        started,
+        &[
+            ("at", at.0 as u64),
+            ("from", from.0 as u64),
+            ("channel", channel as u64),
+            ("bytes", bytes as u64),
+        ],
+    );
+    RECVS.get_or_init(|| metrics::counter("net.recv.messages")).inc();
 }
 
 /// Fully-connected shaped mesh over in-process channels.
@@ -265,13 +330,21 @@ impl Transport for MeshTransport {
         }
         self.tx[idx]
             .send(InFlight { deliver_at, payload: msg })
-            .map_err(|_| NetError::Disconnected)
+            .map_err(|_| NetError::Disconnected)?;
+        if trace::enabled() {
+            record_send(self.kind, from, to, channel, nbytes);
+        }
+        Ok(())
     }
 
     fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<ByteBuf> {
+        let started = trace::enabled().then(Instant::now);
         let idx = self.idx(from, at, channel)?;
         let m = self.rx[idx].recv().map_err(|_| NetError::Disconnected)?;
         wait_until(m.deliver_at);
+        if let Some(t0) = started {
+            record_recv(self.kind, at, from, channel, m.payload.len(), t0);
+        }
         Ok(m.payload)
     }
 
@@ -282,12 +355,19 @@ impl Transport for MeshTransport {
         channel: usize,
         timeout: Duration,
     ) -> NetResult<ByteBuf> {
+        // Only successful receives are recorded: collective receivers poll
+        // this in a 10 ms quantum loop, and a span per empty poll would
+        // drown the trace.
+        let started = trace::enabled().then(Instant::now);
         let idx = self.idx(from, at, channel)?;
         let m = self.rx[idx].recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
             RecvTimeoutError::Disconnected => NetError::Disconnected,
         })?;
         wait_until(m.deliver_at);
+        if let Some(t0) = started {
+            record_recv(self.kind, at, from, channel, m.payload.len(), t0);
+        }
         Ok(m.payload)
     }
 

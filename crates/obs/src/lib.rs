@@ -1,0 +1,45 @@
+//! # sparker-obs — observability substrate
+//!
+//! The paper's whole argument starts from observability: §2.3 mines Spark
+//! history logs to attribute 67% of end-to-end time to `treeAggregate`
+//! (Fig 2) and to split it into scaling compute vs anti-scaling reduce
+//! (Figs 3–4). This crate is the reproduction's equivalent of that history
+//! log: a hierarchical span tracer (driver → stage → task → collective
+//! step, with attempt/epoch labels) plus a process-wide metrics registry,
+//! and exporters that regenerate the Fig 2 breakdown directly from spans.
+//!
+//! ## Two recording tiers
+//!
+//! * **Always-on, scoped spans** ([`trace::ScopedSpan`],
+//!   [`trace::record_manual`]) — low-rate driver-side records (stage
+//!   completions, op phases). These are the source of truth behind the
+//!   engine's `History` and `AggMetrics` views and are written directly to
+//!   the global sink under one short lock. They work with tracing
+//!   *disabled*; each cluster tags them with a scope id so concurrent
+//!   clusters don't mix.
+//! * **Gated fine-grained spans** ([`trace::span`], [`trace::event`],
+//!   [`trace::event_dur`]) — per-task, per-collective-step, per-message
+//!   records. Behind a single relaxed atomic flag; when disabled the cost
+//!   is one atomic load and **no allocation** (guarded by a test on
+//!   [`trace::thread_buffers_created`]). When enabled, records accumulate
+//!   in per-thread buffers and flush to the sink in one batch when the
+//!   thread's outermost span closes — so parallel gang tasks never
+//!   interleave partial records.
+//!
+//! ## Exporters
+//!
+//! * [`export::chrome_trace_json`] — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * [`export::stage_breakdown`] — the Fig 2 per-kind time-breakdown table
+//!   (text and CSV), derived purely from `Stage`-layer spans.
+//!
+//! [`json`] is a minimal std-only JSON parser used to validate exported
+//! traces in tests and the `trace_run` example (the workspace is hermetic:
+//! no serde).
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use trace::{enabled, Layer, SpanRecord};

@@ -52,4 +52,10 @@ cargo build --offline --benches
 #    means a fault path regressed into a hang.
 timeout 120 cargo test -q --offline -p sparker-repro --test chaos_collectives
 
+# 5. Trace-export smoke — runs a traced training run, exports Chrome trace
+#    JSON, re-parses it with the in-repo parser, and checks every span-layer
+#    emitted (the example exits non-zero if any check fails). Still fully
+#    offline: sparker-obs is std-only and the export lands under results/.
+timeout 120 cargo run -q --release --offline --example trace_run
+
 echo "hermetic check passed: built and tested fully offline, path-only deps"
