@@ -1,0 +1,196 @@
+//! Ablation — dense vs sparse vs adaptive segments across update density.
+//!
+//! Sweeps the density of per-partition aggregator updates from 100% down to
+//! 0.01% (indices drawn by the data layer's Zipf sampler, the same power
+//! law the synthetic corpora use) and runs the identical split aggregation
+//! with three segment representations:
+//!
+//! * `dense`    — the baseline `SumSegment` path: every element on the wire;
+//! * `sparse`   — `DenseOrSparse` forced sparse (never densifies);
+//! * `adaptive` — `DenseOrSparse` at the default threshold: sparse on the
+//!                wire until merge fill-in crosses it, then dense
+//!                (SparCML-style SSAR).
+//!
+//! All three must produce the identical reduced vector (the drawn values
+//! are small integers, so `f64` summation is exact in any order). The
+//! harness asserts the acceptance bounds: at ≤1% density sparse/adaptive
+//! wire bytes are ≥5× below dense, and at 100% density adaptive costs at
+//! most the per-frame header (tag + threshold) over dense.
+//!
+//! `--smoke` runs one small shape at two densities for CI
+//! (`tools/check_hermetic.sh` step 6).
+
+use sparker::sparse::SparseAccum;
+use sparker_bench::{fmt_bytes, fmt_secs, print_header, MetricsCsv, Table};
+use sparker_data::rng::{SplitMix64, Zipf};
+use sparker_engine::cluster::LocalCluster;
+use sparker_engine::metrics::AggMetrics;
+use sparker_engine::ops::split_aggregate::SplitAggOpts;
+use sparker_net::codec::F64Array;
+
+/// One partition's updates: sparse (index, delta) batches.
+fn gen_partition(partition: usize, dim: usize, density: f64, items: usize) -> Vec<Vec<(u32, f64)>> {
+    if density >= 1.0 {
+        // Fully dense updates: every coordinate touched.
+        let full: Vec<(u32, f64)> = (0..dim).map(|i| (i as u32, 1.0)).collect();
+        return vec![full; items];
+    }
+    let zipf = Zipf::new(dim, 1.05);
+    let mut g = SplitMix64::for_stream(0x5EED_D1CE, partition as u64);
+    let draws = ((dim as f64 * density) as usize).max(1);
+    (0..items)
+        .map(|_| {
+            let mut acc = std::collections::BTreeMap::new();
+            for _ in 0..draws {
+                *acc.entry(zipf.sample(&mut g) as u32).or_insert(0.0) += 1.0;
+            }
+            acc.into_iter().collect()
+        })
+        .collect()
+}
+
+fn run_dense(cluster: &LocalCluster, dim: usize, density: f64, items: usize) -> (Vec<f64>, AggMetrics) {
+    let partitions = 2 * cluster.num_executors();
+    let data = cluster.generate(partitions, move |p| gen_partition(p, dim, density, items));
+    let (v, m) = data
+        .split_aggregate(
+            F64Array(vec![0.0; dim]),
+            |mut acc: F64Array, item: &Vec<(u32, f64)>| {
+                for &(i, d) in item {
+                    acc.0[i as usize] += d;
+                }
+                acc
+            },
+            sparker::dense::merge,
+            sparker::dense::split,
+            sparker::dense::merge_segments,
+            sparker::dense::concat,
+            SplitAggOpts::default(),
+        )
+        .unwrap();
+    (sparker::dense::to_vec(v), m)
+}
+
+fn run_sparse(
+    cluster: &LocalCluster,
+    dim: usize,
+    density: f64,
+    items: usize,
+    adaptive: bool,
+) -> (Vec<f64>, AggMetrics) {
+    let partitions = 2 * cluster.num_executors();
+    let data = cluster.generate(partitions, move |p| gen_partition(p, dim, density, items));
+    let split = if adaptive { sparker::sparse::split } else { sparker::sparse::split_sparse };
+    let (v, m) = data
+        .split_aggregate(
+            sparker::sparse::zeros(dim),
+            |mut acc: SparseAccum, item: &Vec<(u32, f64)>| {
+                for &(i, d) in item {
+                    acc.add(i, d);
+                }
+                acc
+            },
+            sparker::sparse::merge,
+            split,
+            sparker::sparse::merge_segments,
+            sparker::sparse::concat,
+            SplitAggOpts::default(),
+        )
+        .unwrap();
+    (v.to_dense(), m)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    print_header(
+        "Ablation: sparse segment density sweep",
+        "dense vs forced-sparse vs adaptive (SSAR) segments on Zipf updates",
+        "Same split aggregation, same data; only the segment representation\n\
+         changes. wire_bytes is the unified Payload::size_hint accounting.",
+    );
+    let (dim, items, densities): (usize, usize, &[f64]) = if smoke {
+        (4096, 4, &[1.0, 0.01])
+    } else {
+        (65536, 4, &[1.0, 0.5, 0.1, 0.01, 0.001, 0.0001])
+    };
+    let cluster = LocalCluster::local(4, 2);
+
+    let mut t = Table::new(vec![
+        "Density",
+        "Dense bytes",
+        "Sparse bytes",
+        "Adaptive bytes",
+        "Dense time",
+        "Sparse time",
+        "Adaptive time",
+        "Sparse ratio",
+    ]);
+    let mut csv = MetricsCsv::new(vec!["density", "dim", "variant"]);
+
+    let seg_encodes = sparker_obs::metrics::counter("sparse.segments");
+    for &density in densities {
+        let (dv, dm) = run_dense(&cluster, dim, density, items);
+        let (sv, sm) = run_sparse(&cluster, dim, density, items, false);
+        let encodes_before = seg_encodes.get();
+        let (av, am) = run_sparse(&cluster, dim, density, items, true);
+        let adaptive_encodes = seg_encodes.get() - encodes_before;
+        assert_eq!(dv, sv, "forced-sparse result diverged at density {density}");
+        assert_eq!(dv, av, "adaptive result diverged at density {density}");
+
+        let key = |variant: &str| vec![density.to_string(), dim.to_string(), variant.to_string()];
+        csv.row(key("dense"), &dm);
+        csv.row(key("sparse"), &sm);
+        csv.row(key("adaptive"), &am);
+        t.row(vec![
+            format!("{:.4}%", density * 100.0),
+            fmt_bytes(dm.wire_bytes() as f64),
+            fmt_bytes(sm.wire_bytes() as f64),
+            fmt_bytes(am.wire_bytes() as f64),
+            fmt_secs(dm.total().as_secs_f64()),
+            fmt_secs(sm.total().as_secs_f64()),
+            fmt_secs(am.total().as_secs_f64()),
+            format!("{:.1}x", dm.wire_bytes() as f64 / sm.wire_bytes() as f64),
+        ]);
+
+        // Acceptance bounds (the harness is its own gate — CI runs --smoke).
+        if density <= 0.01 {
+            assert!(
+                sm.wire_bytes() * 5 <= dm.wire_bytes(),
+                "sparse not >=5x below dense at density {density}: {} vs {}",
+                sm.wire_bytes(),
+                dm.wire_bytes()
+            );
+            assert!(
+                am.wire_bytes() * 5 <= dm.wire_bytes(),
+                "adaptive not >=5x below dense at density {density}: {} vs {}",
+                am.wire_bytes(),
+                dm.wire_bytes()
+            );
+        }
+        if density >= 1.0 {
+            // DenseOrSparse adds a 9-byte header (f64 threshold + u8 tag)
+            // per encoded segment over the raw dense encoding; the obs
+            // counter gives the exact encode count.
+            let allowance = 9 * adaptive_encodes;
+            assert!(
+                am.wire_bytes() <= dm.wire_bytes() + allowance,
+                "adaptive exceeded dense + header overhead at 100%: {} vs {} (+{allowance})",
+                am.wire_bytes(),
+                dm.wire_bytes()
+            );
+        }
+    }
+    t.print();
+
+    let wire = sparker_obs::metrics::counter("sparse.wire_bytes").get();
+    let equiv = sparker_obs::metrics::counter("sparse.dense_equiv_bytes").get();
+    println!(
+        "\nobs counters: sparse.wire_bytes={} sparse.dense_equiv_bytes={} ({:.1}% of dense)",
+        wire,
+        equiv,
+        100.0 * wire as f64 / equiv.max(1) as f64
+    );
+    let path = csv.write("ablation_sparse_density").expect("csv");
+    println!("wrote {}", path.display());
+    println!("all density/equivalence bounds held");
+}

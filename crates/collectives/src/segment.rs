@@ -17,8 +17,14 @@ pub trait Segment: Payload + Send + 'static {
     /// application accepts (floating-point sums reorder across topologies).
     fn merge_from(&mut self, other: &Self);
 
-    /// Approximate in-memory payload size, used by benches for accounting.
-    fn payload_bytes(&self) -> usize;
+    /// Wire size of this segment, used by benches for accounting.
+    ///
+    /// Defaults to [`Payload::size_hint`], which every impl in this
+    /// workspace keeps exact (asserted by the `prop_payload` suite), so
+    /// there is a single wire-bytes number across benches and metrics.
+    fn payload_bytes(&self) -> usize {
+        self.size_hint()
+    }
 }
 
 /// Element-wise summing segment of `f64`s — the shape of every MLlib
@@ -51,9 +57,6 @@ impl Segment for SumSegment {
             *a += *b;
         }
     }
-    fn payload_bytes(&self) -> usize {
-        8 * self.0.len()
-    }
 }
 
 /// Element-wise wrapping-sum segment of `u64`s — used by the aggregation
@@ -85,9 +88,6 @@ impl Segment for U64SumSegment {
         for (a, b) in self.0.iter_mut().zip(&other.0) {
             *a = a.wrapping_add(*b);
         }
-    }
-    fn payload_bytes(&self) -> usize {
-        8 * self.0.len()
     }
 }
 

@@ -83,6 +83,7 @@
 //! | [`sparker_obs`] | span tracing, metrics, Chrome-trace + Fig 2 exporters |
 //! | [`sparker_net`] | codec, shaped transports, PDR topology |
 //! | [`sparker_collectives`] | ring reduce-scatter, tree, halving, allreduce |
+//! | [`sparker_sparse`] | sparse & density-adaptive segments (SparCML-style SSAR) |
 //! | [`sparker_engine`] | RDDs, driver/executors, tree & split aggregation, IMM |
 //! | [`sparker_ml`] | LR / SVM / LDA with the `AggregationMode` switch |
 //! | [`sparker_data`] | RNG, libsvm, synthetic Table 2 datasets |
@@ -120,6 +121,25 @@ pub mod dense {
     }
 }
 
+/// Ready-made SAI callbacks for **sparse** aggregators: the executor-local
+/// value is a [`SparseAccum`], segments are density-adaptive
+/// [`DenseOrSparse`] (sparse on the wire until merge fill-in crosses the
+/// threshold, then dense — SparCML-style SSAR).
+///
+/// [`SparseAccum`]: sparker_sparse::SparseAccum
+/// [`DenseOrSparse`]: sparker_sparse::DenseOrSparse
+pub mod sparse {
+    pub use sparker_ml::aggregator::{
+        concat_adaptive as concat, fold_doc_counts_sparse, fold_logistic_sparse,
+        merge_adaptive_segments as merge_segments, merge_sparse as merge,
+        split_adaptive as split, split_sparse, zeros_sparse as zeros,
+    };
+    pub use sparker_sparse::{
+        dense_wire_bytes, DenseOrSparse, SparseAccum, SparseSegment,
+        DEFAULT_DENSITY_THRESHOLD, NEVER_DENSIFY,
+    };
+}
+
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use sparker_collectives::segment::{slice_bounds, SumSegment, U64SumSegment};
@@ -142,6 +162,7 @@ pub mod prelude {
     pub use sparker_net::codec::{F64Array, Payload};
     pub use sparker_net::profile::{NetProfile, TransportKind};
     pub use sparker_net::topology::RingOrder;
+    pub use sparker_sparse::{DenseOrSparse, SparseAccum, SparseSegment};
 }
 
 #[cfg(test)]
@@ -157,6 +178,17 @@ mod tests {
             .unwrap();
         assert_eq!(sum, 10);
         assert_eq!(m.strategy, AggStrategy::Tree);
+    }
+
+    #[test]
+    fn sparse_helpers_roundtrip() {
+        let mut acc = crate::sparse::zeros(10);
+        acc.add(2, 1.5);
+        acc.add(7, -3.0);
+        let segs: Vec<DenseOrSparse> = (0..3).map(|i| crate::sparse::split(&acc, i, 3)).collect();
+        assert!(segs.iter().all(DenseOrSparse::is_sparse));
+        let back = crate::sparse::concat(segs);
+        assert_eq!(back.to_dense(), acc.to_dense());
     }
 
     #[test]

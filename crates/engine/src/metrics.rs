@@ -81,22 +81,32 @@ impl AggMetrics {
         self.compute + self.reduce
     }
 
+    /// The single wire-bytes number benches compare across strategies and
+    /// representations: every aggregator byte serialized anywhere (shuffle,
+    /// results, ring/halving exchanges, fallback frames). Since
+    /// `Segment::payload_bytes` defaults to the exact `Payload::size_hint`,
+    /// this is the same accounting the `sparse.wire_bytes` metric uses.
+    pub fn wire_bytes(&self) -> u64 {
+        self.ser_bytes
+    }
+
     /// Column names matching [`AggMetrics::csv_row`]. Bench bins prepend
     /// their own key columns (dimension, executors, …) to both.
     pub fn csv_header() -> &'static str {
-        "strategy,compute_s,reduce_s,driver_merge_s,total_s,ser_bytes,bytes_to_driver,messages,stages,task_attempts,downgraded"
+        "strategy,compute_s,reduce_s,driver_merge_s,total_s,ser_bytes,wire_bytes,bytes_to_driver,messages,stages,task_attempts,downgraded"
     }
 
     /// One CSV row of every field, in [`AggMetrics::csv_header`] order.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{}",
+            "{},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{},{}",
             self.strategy.name(),
             self.compute.as_secs_f64(),
             self.reduce.as_secs_f64(),
             self.driver_merge.as_secs_f64(),
             self.total().as_secs_f64(),
             self.ser_bytes,
+            self.wire_bytes(),
             self.bytes_to_driver,
             self.messages,
             self.stages,
@@ -143,7 +153,8 @@ mod tests {
         assert_eq!(header.len(), cells.len(), "row arity matches header");
         assert_eq!(cells[0], "split");
         assert_eq!(cells[4], "1.000000000"); // total_s
-        assert_eq!(cells[5], "1024");
-        assert_eq!(cells[10], "1");
+        assert_eq!(cells[5], "1024"); // ser_bytes
+        assert_eq!(cells[6], "1024"); // wire_bytes mirrors the unified accounting
+        assert_eq!(cells[11], "1"); // downgraded
     }
 }

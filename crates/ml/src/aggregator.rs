@@ -13,8 +13,19 @@
 //! Property: for any vector and any `(i, n)` decomposition,
 //! `concat(split(u)) == u` and split-then-reduce equals reduce-then-split —
 //! the invariants the property tests pin down.
+//!
+//! The second half of this module is the same interface for **sparse**
+//! aggregators: the executor-local `U` is a [`SparseAccum`] and segments
+//! are [`DenseOrSparse`], so Zipfian/power-law workloads (sparse LR
+//! gradients, LDA word counts) ship only their non-zeros until merge
+//! fill-in makes dense cheaper.
 
 pub use sparker_collectives::segment::{slice_bounds, SumSegment};
+pub use sparker_sparse::{
+    DenseOrSparse, SparseAccum, SparseSegment, DEFAULT_DENSITY_THRESHOLD, NEVER_DENSIFY,
+};
+
+use sparker_data::synth::{Document, SparseExample};
 use sparker_net::codec::F64Array;
 
 /// A model aggregator: one dense `f64` vector (see module docs).
@@ -50,6 +61,77 @@ pub fn merge_segments(a: &mut SumSegment, b: SumSegment) {
 /// The paper's `concatOp`: segments in index order → full vector.
 pub fn concat_dense(segments: Vec<SumSegment>) -> DenseAgg {
     F64Array(segments.into_iter().flat_map(|s| s.0).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Sparse SAI: same splitOp/reduceOp/concatOp contract over SparseAccum and
+// DenseOrSparse segments.
+// ---------------------------------------------------------------------------
+
+/// Creates an empty sparse aggregator over a logical length `n`.
+pub fn zeros_sparse(n: usize) -> SparseAccum {
+    SparseAccum::zeros(n)
+}
+
+/// Executor-local IMM merge of sparse aggregators.
+pub fn merge_sparse(a: &mut SparseAccum, b: SparseAccum) {
+    a.merge(&b);
+}
+
+/// Sparse `splitOp` with the default density threshold: segments below it
+/// ship sparse, above it dense, and they densify mid-reduction on fill-in.
+pub fn split_adaptive(u: &SparseAccum, i: usize, n: usize) -> DenseOrSparse {
+    u.segment(i, n, DEFAULT_DENSITY_THRESHOLD)
+}
+
+/// Sparse `splitOp` that never densifies — the forced-sparse ablation arm.
+pub fn split_sparse(u: &SparseAccum, i: usize, n: usize) -> DenseOrSparse {
+    u.segment(i, n, NEVER_DENSIFY)
+}
+
+/// `reduceOp` on adaptive segments (sorted-union add, with the SSAR
+/// dense switch when fill-in crosses the segment's threshold).
+pub fn merge_adaptive_segments(a: &mut DenseOrSparse, b: DenseOrSparse) {
+    a.merge(&b);
+}
+
+/// `concatOp` on adaptive segments: segments in index order → one
+/// full-length segment, re-choosing its representation by the overall
+/// density (threshold taken from the first segment).
+pub fn concat_adaptive(segments: Vec<DenseOrSparse>) -> DenseOrSparse {
+    let threshold =
+        segments.first().map_or(DEFAULT_DENSITY_THRESHOLD, DenseOrSparse::threshold);
+    let mut dense = Vec::with_capacity(segments.iter().map(DenseOrSparse::dense_len).sum());
+    for seg in segments {
+        dense.extend(seg.into_dense());
+    }
+    DenseOrSparse::from_dense(dense, threshold)
+}
+
+/// Folds one classification example into a sparse log-loss gradient
+/// accumulator of length `w.len()` (the per-partition `seqOp`).
+///
+/// For label `y ∈ {±1}`, the log-loss gradient is `−y · σ(−y·wᵀx) · x`,
+/// which touches only the example's non-zero coordinates — the reason the
+/// per-partition aggregator stays sparse on high-dimensional data.
+pub fn fold_logistic_sparse(mut acc: SparseAccum, ex: &SparseExample, w: &[f64]) -> SparseAccum {
+    assert_eq!(acc.dense_len(), w.len(), "aggregator/weight shape mismatch");
+    let margin = ex.dot(w);
+    let scale = -ex.label / (1.0 + (ex.label * margin).exp());
+    for (&i, &v) in ex.indices.iter().zip(&ex.values) {
+        acc.add(i, scale * v);
+    }
+    acc
+}
+
+/// Folds one bag-of-words document into a sparse word-count accumulator of
+/// vocabulary length (LDA's per-partition sufficient statistics for one
+/// topic slice).
+pub fn fold_doc_counts_sparse(mut acc: SparseAccum, doc: &Document) -> SparseAccum {
+    for &(word, count) in &doc.words {
+        acc.add(word, count as f64);
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -98,5 +180,69 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn merge_shape_mismatch_panics() {
         merge_dense(&mut zeros(3), zeros(4));
+    }
+
+    #[test]
+    fn sparse_concat_inverts_split() {
+        let mut u = zeros_sparse(103);
+        for i in (0..103u32).step_by(9) {
+            u.add(i, i as f64 + 0.5);
+        }
+        for n in [1, 2, 7, 16] {
+            for split in [split_adaptive, split_sparse] {
+                let segs: Vec<DenseOrSparse> = (0..n).map(|i| split(&u, i, n)).collect();
+                let back = concat_adaptive(segs);
+                assert_eq!(back.to_dense(), u.to_dense(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_split_then_reduce_equals_reduce_then_split() {
+        let mut a = zeros_sparse(50);
+        let mut b = zeros_sparse(50);
+        for i in 0..50u32 {
+            if i % 3 == 0 {
+                a.add(i, i as f64);
+            }
+            if i % 4 == 0 {
+                b.add(i, 100.0 - i as f64);
+            }
+        }
+        let n = 7;
+        let mut whole = a.clone();
+        merge_sparse(&mut whole, b.clone());
+        for i in 0..n {
+            let direct = split_adaptive(&whole, i, n);
+            let mut split_first = split_adaptive(&a, i, n);
+            merge_adaptive_segments(&mut split_first, split_adaptive(&b, i, n));
+            assert_eq!(direct.to_dense(), split_first.to_dense(), "segment {i}");
+        }
+    }
+
+    #[test]
+    fn logistic_fold_matches_dense_gradient() {
+        use sparker_data::synth::SparseExample;
+        let w = vec![0.1, -0.2, 0.3, 0.0, 0.5];
+        let ex = SparseExample { label: 1.0, indices: vec![0, 2, 4], values: vec![1.0, 2.0, -1.0] };
+        let acc = fold_logistic_sparse(zeros_sparse(5), &ex, &w);
+        // Dense reference.
+        let margin: f64 = 0.1 * 1.0 + 0.3 * 2.0 + 0.5 * -1.0;
+        let scale = -1.0 / (1.0 + margin.exp());
+        let mut want = vec![0.0; 5];
+        for (&i, &v) in ex.indices.iter().zip(&ex.values) {
+            want[i as usize] = scale * v;
+        }
+        assert_eq!(acc.to_dense(), want);
+        assert_eq!(acc.nnz(), 3, "gradient support equals example support");
+    }
+
+    #[test]
+    fn doc_fold_counts_words() {
+        use sparker_data::synth::Document;
+        let doc = Document { words: vec![(1, 2), (4, 1)] };
+        let mut acc = fold_doc_counts_sparse(zeros_sparse(6), &doc);
+        acc = fold_doc_counts_sparse(acc, &doc);
+        assert_eq!(acc.to_dense(), vec![0.0, 4.0, 0.0, 0.0, 2.0, 0.0]);
     }
 }

@@ -326,7 +326,14 @@ pub trait Payload: Send + Sized + 'static {
     fn encode_into(&self, enc: &mut Encoder);
     /// Reads one value back out of the decoder.
     fn decode_from(dec: &mut Decoder) -> NetResult<Self>;
-    /// Optional hint used to pre-size encode buffers.
+    /// Exact encoded length of this value in bytes.
+    ///
+    /// Used to pre-size encode buffers *and* as the unified wire-bytes
+    /// accounting (`Segment::payload_bytes`, bench CSV `wire_bytes`), so
+    /// every impl must return exactly `to_frame().len()` — the
+    /// `prop_payload` suite asserts this for each impl in the workspace.
+    /// The default (0) is only correct for values with an empty encoding,
+    /// e.g. `()`.
     fn size_hint(&self) -> usize {
         0
     }

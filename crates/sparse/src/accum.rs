@@ -1,0 +1,155 @@
+//! Executor-side sparse accumulator — the `U` of the split-aggregation
+//! interface when updates are sparse.
+//!
+//! Per-partition folds (a batch of `SparseExample` gradients, LDA word
+//! counts) touch few coordinates of a large model, so the executor-local
+//! aggregator is an ordered index→value map instead of a dense vector.
+//! `splitOp` then becomes a range query: segment `i` of `n` is the map
+//! entries inside [`slice_bounds`]`(len, i, n)`, rebased to segment-local
+//! indices and wrapped in a [`DenseOrSparse`] that picks its own wire
+//! representation.
+//!
+//! [`slice_bounds`]: sparker_collectives::segment::slice_bounds
+
+use std::collections::BTreeMap;
+
+use sparker_collectives::segment::slice_bounds;
+
+use crate::segment::{DenseOrSparse, SparseSegment};
+
+/// An ordered sparse accumulator over a logical `f64` vector of length
+/// `len`. Entries that cancel to zero are kept (cheap, and `nnz` stays an
+/// upper bound just like [`SparseSegment`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseAccum {
+    len: usize,
+    map: BTreeMap<u32, f64>,
+}
+
+impl SparseAccum {
+    /// The empty accumulator over a logical length.
+    pub fn zeros(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize + 1, "length exceeds u32 index space");
+        Self { len, map: BTreeMap::new() }
+    }
+
+    /// Collects the non-zeros of a dense slice.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        let mut acc = Self::zeros(dense.len());
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                acc.map.insert(i as u32, v);
+            }
+        }
+        acc
+    }
+
+    /// Logical (dense) length.
+    pub fn dense_len(&self) -> usize {
+        self.len
+    }
+
+    /// Stored entries (≥ mathematical non-zeros).
+    pub fn nnz(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `nnz / len`; 0 for the empty-length accumulator.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.map.len() as f64 / self.len as f64
+        }
+    }
+
+    /// Adds `delta` at coordinate `index`.
+    pub fn add(&mut self, index: u32, delta: f64) {
+        assert!((index as usize) < self.len, "index {index} out of bounds for len {}", self.len);
+        *self.map.entry(index).or_insert(0.0) += delta;
+    }
+
+    /// Merges another accumulator of the same shape (the IMM `mergeOp`).
+    pub fn merge(&mut self, other: &SparseAccum) {
+        assert_eq!(self.len, other.len, "accumulator shape mismatch");
+        for (&i, &v) in &other.map {
+            *self.map.entry(i).or_insert(0.0) += v;
+        }
+    }
+
+    /// Materializes the full dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.len];
+        for (&i, &v) in &self.map {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// The `splitOp`: segment `i` of `n`, covering the same index range
+    /// dense `slice_bounds` splitting would, with indices rebased to the
+    /// segment's origin. The returned segment applies `threshold` to choose
+    /// its wire representation.
+    pub fn segment(&self, i: usize, n: usize, threshold: f64) -> DenseOrSparse {
+        let (lo, hi) = slice_bounds(self.len, i, n);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (&idx, &v) in self.map.range(lo as u32..hi as u32) {
+            indices.push(idx - lo as u32);
+            values.push(v);
+        }
+        DenseOrSparse::from_sparse(SparseSegment::new(hi - lo, indices, values), threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::NEVER_DENSIFY;
+
+    #[test]
+    fn add_and_merge_accumulate() {
+        let mut a = SparseAccum::zeros(10);
+        a.add(3, 1.5);
+        a.add(3, 0.5);
+        a.add(7, -1.0);
+        let mut b = SparseAccum::zeros(10);
+        b.add(7, 1.0);
+        b.add(0, 4.0);
+        a.merge(&b);
+        let mut want = vec![0.0; 10];
+        want[0] = 4.0;
+        want[3] = 2.0;
+        assert_eq!(a.to_dense(), want);
+        assert_eq!(a.nnz(), 3, "cancelled entry kept");
+    }
+
+    #[test]
+    fn segments_tile_the_dense_vector() {
+        let dense: Vec<f64> =
+            (0..17).map(|i| if i % 3 == 0 { i as f64 } else { 0.0 }).collect();
+        let acc = SparseAccum::from_dense(&dense);
+        for n in [1usize, 2, 3, 5] {
+            let mut rebuilt = Vec::new();
+            for i in 0..n {
+                rebuilt.extend(acc.segment(i, n, NEVER_DENSIFY).to_dense());
+            }
+            assert_eq!(rebuilt, dense, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn segment_indices_are_rebased() {
+        let mut acc = SparseAccum::zeros(8);
+        acc.add(5, 2.0);
+        // Segment 1 of 2 covers [4, 8); global index 5 is local index 1.
+        let seg = acc.segment(1, 2, NEVER_DENSIFY);
+        assert_eq!(seg.to_dense(), vec![0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_rejects_out_of_bounds() {
+        SparseAccum::zeros(4).add(4, 1.0);
+    }
+}

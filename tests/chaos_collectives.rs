@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use sparker::engine::task::EngineResult;
 use sparker::net::{ExecutorId, NetFaultPlan};
 use sparker::prelude::*;
+use sparker::sparse::SparseAccum;
 use sparker_testkit::{check, tk_assert, tk_assert_eq, Config, Source};
 
 const EXECUTORS: usize = 3;
@@ -75,6 +76,42 @@ fn run_split(cluster: &LocalCluster) -> EngineResult<(Vec<f64>, AggMetrics)> {
     .map(|(v, m)| (v.0, m))
 }
 
+/// Sparse variant of [`run_split`]: each item `x` contributes value `x` at
+/// index `7x mod 29` (7 is coprime to 29, so the 24 items hit 24 distinct
+/// indices). Per-partition density is 4/29 — segments leave the executors
+/// sparse — while the merged density is 24/29, so with the default
+/// threshold the adaptive segments must switch to dense *mid-reduction*,
+/// under whatever faults the plan injects. Integer values keep the answer
+/// bit-exact on every path.
+fn run_split_sparse(
+    cluster: &LocalCluster,
+    adaptive: bool,
+) -> EngineResult<(Vec<f64>, AggMetrics)> {
+    let data = cluster.parallelize((1..=24u64).collect::<Vec<_>>(), 6);
+    let split = if adaptive { sparker::sparse::split } else { sparker::sparse::split_sparse };
+    data.split_aggregate(
+        sparker::sparse::zeros(DIM),
+        |mut acc: SparseAccum, x: &u64| {
+            acc.add((*x as u32 * 7) % DIM as u32, *x as f64);
+            acc
+        },
+        sparker::sparse::merge,
+        split,
+        sparker::sparse::merge_segments,
+        sparker::sparse::concat,
+        SplitAggOpts { parallelism: Some(2), ..Default::default() },
+    )
+    .map(|(v, m)| (v.to_dense(), m))
+}
+
+fn expected_sparse() -> Vec<f64> {
+    let mut out = vec![0.0; DIM];
+    for x in 1..=24u64 {
+        out[(x as usize * 7) % DIM] += x as f64;
+    }
+    out
+}
+
 /// Draws a random fault plan over the 3-executor cluster: one to four faults
 /// of any kind, on any directed link, with small sequence numbers so they
 /// land inside the ring stage's actual send window.
@@ -118,6 +155,62 @@ fn random_fault_plans_never_hang_and_never_corrupt() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn random_fault_plans_never_corrupt_sparse_or_adaptive_segments() {
+    // Same contract as the dense case, driven through DenseOrSparse
+    // segments: exact answer or typed error, bounded time, including the
+    // mid-reduction sparse→dense switch under retries and gang
+    // resubmission.
+    let cfg = Config { cases: 8, seed: 0x0c4a_05ca_fe00_0002, max_shrink_trials: 30 };
+    check(&cfg, |src| {
+        let plan = arb_plan(src);
+        let adaptive = src.bool_any();
+        let cluster = LocalCluster::new(chaos_spec(plan));
+        let t = Instant::now();
+        let out = run_split_sparse(&cluster, adaptive);
+        let elapsed = t.elapsed();
+        tk_assert!(elapsed < Duration::from_secs(30), "chaos case took {elapsed:?}");
+        match out {
+            Ok((v, _)) => tk_assert_eq!(v, expected_sparse()),
+            Err(_) => {}
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn kill_mid_ring_downgrades_adaptive_segments_to_tree_fallback() {
+    let plan = NetFaultPlan::new().kill_after_sends(ExecutorId(1), 2);
+    let cluster = LocalCluster::new(chaos_spec(plan));
+    let (v, m) = run_split_sparse(&cluster, true).unwrap();
+    assert_eq!(v, expected_sparse());
+    assert!(m.downgraded, "gang exhaustion must be recorded in metrics");
+}
+
+#[test]
+fn dropped_frame_retries_through_the_dense_switch() {
+    // The drop forces a timeout + gang resubmission; the retried attempt
+    // re-splits from the intact accumulators and must reach the identical
+    // answer through the same sparse→dense switch.
+    let plan = NetFaultPlan::new().drop_nth(ExecutorId(0), ExecutorId(1), 0);
+    let cluster = LocalCluster::new(chaos_spec(plan));
+    let (v, m) = run_split_sparse(&cluster, true).unwrap();
+    assert_eq!(v, expected_sparse());
+    assert!(!m.downgraded, "one transient drop must not exhaust the gang");
+}
+
+#[test]
+fn corrupted_sparse_frame_is_rejected_and_retried() {
+    // Corruption must surface as a typed codec/checksum failure (the
+    // sparse decoder additionally validates sortedness and bounds), then
+    // the retry completes exactly.
+    let plan = NetFaultPlan::new().corrupt_nth(ExecutorId(2), ExecutorId(0), 1);
+    let cluster = LocalCluster::new(chaos_spec(plan));
+    let (v, m) = run_split_sparse(&cluster, false).unwrap();
+    assert_eq!(v, expected_sparse());
+    assert!(!m.downgraded);
 }
 
 #[test]

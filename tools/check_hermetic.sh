@@ -58,4 +58,12 @@ timeout 120 cargo test -q --offline -p sparker-repro --test chaos_collectives
 #    offline: sparker-obs is std-only and the export lands under results/.
 timeout 120 cargo run -q --release --offline --example trace_run
 
+# 6. Sparse-aggregation smoke — runs the density ablation in --smoke shape
+#    (small dim, densities 100% and 1%). The binary itself asserts the
+#    acceptance bounds: all variants numerically equal, sparse/adaptive
+#    ≥5x fewer wire bytes than dense at 1% density, and adaptive no worse
+#    than dense (plus per-segment header) at 100%. Crate path-only-ness is
+#    already covered by the step-1 crates/*/Cargo.toml glob.
+timeout 120 cargo run -q --release --offline -p sparker-bench --bin ablation_sparse_density -- --smoke
+
 echo "hermetic check passed: built and tested fully offline, path-only deps"
