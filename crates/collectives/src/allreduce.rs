@@ -26,9 +26,10 @@ fn ring_allgather_pass<S: sparker_net::codec::Payload>(
 ) -> NetResult<Vec<S>> {
     let rank = comm.rank();
     let (op, attempt) = comm.epoch();
+    let pool = sparker_net::pool::global();
     let mut blocks: Vec<Option<S>> = (0..n).map(|_| None).collect();
     let own_idx = (rank + 1) % n;
-    let mut current = owned.to_frame();
+    let mut current = owned.to_frame_pooled(pool);
     blocks[own_idx] = Some(owned);
     for step in 0..n - 1 {
         let started = sparker_obs::enabled().then(std::time::Instant::now);
@@ -58,6 +59,8 @@ fn ring_allgather_pass<S: sparker_net::codec::Payload>(
         }
         current = incoming;
     }
+    // The last received frame is never forwarded; hand it back to the pool.
+    pool.recycle_frame(current);
     blocks
         .into_iter()
         .enumerate()

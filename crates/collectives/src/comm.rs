@@ -125,7 +125,12 @@ impl RingComm {
         }
         let me = self.ring.executor_at(self.rank).id;
         let to = self.ring.executor_at(rank).id;
-        self.net.send(me, to, channel, epoch::wrap(self.epoch.0, self.epoch.1, &msg))
+        let wrapped = epoch::wrap(self.epoch.0, self.epoch.1, &msg);
+        // Wrapping copied the payload into the outgoing frame; if the caller
+        // encoded it from the pool (and holds no other reference) the
+        // allocation is reusable right now.
+        sparker_net::pool::global().recycle_frame(msg);
+        self.net.send(me, to, channel, wrapped)
     }
 
     /// Receives from an arbitrary rank, honouring this comm's deadline.
@@ -174,7 +179,9 @@ impl RingComm {
                         return Ok(payload);
                     }
                     // Stale epoch: a leftover from a failed attempt (or an
-                    // op that already tore down). Discard and keep waiting.
+                    // op that already tore down). Discard and keep waiting;
+                    // the dead frame's allocation goes back to the pool.
+                    sparker_net::pool::global().recycle_frame(payload);
                 }
                 Err(NetError::Timeout) => {
                     if let Some(expire) = expire {

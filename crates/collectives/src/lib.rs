@@ -13,7 +13,10 @@
 //!   `1/N`-th of the reduced value having moved only `(N-1)/N` of its data.
 //!   Runs over the parallel directed ring with `P` channels: the value is
 //!   split into `P·N` segments and `P` threads run independent rings, thread
-//!   `i` on channel `i` over segment range `[i·N, (i+1)·N)`.
+//!   `i` on channel `i` over segment range `[i·N, (i+1)·N)`. The chunked
+//!   variants ([`ring::ring_reduce_scatter_chunked`]) additionally split each
+//!   logical segment into `C` chunks and software-pipeline send/merge within
+//!   every ring step — depth pipelining on top of the PDR's width.
 //! * [`tree::binomial_tree_reduce`] — the non-splitting baseline shaped like
 //!   Spark's own `treeAggregate` reduction: `⌈log₂N⌉` rounds, whole
 //!   aggregators on every hop.
@@ -39,4 +42,8 @@ pub mod tree;
 
 pub use comm::RingComm;
 pub use composite::{CompositeAgg, CompositeLayout};
+pub use ring::{
+    ring_reduce_scatter, ring_reduce_scatter_by, ring_reduce_scatter_chunked,
+    ring_reduce_scatter_chunked_by, OwnedSegment,
+};
 pub use segment::{Segment, SumSegment, U64SumSegment};

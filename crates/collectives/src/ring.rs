@@ -14,8 +14,22 @@
 //! aggregator regardless of `N` — that is the bandwidth-optimality that
 //! makes split aggregation scale nearly flat in Figure 16.
 
+//! # Chunk pipelining (depth on top of the PDR's width)
+//!
+//! On top of the `P`-wide channel parallelism, each logical segment can be
+//! split into `C` pipeline chunks (SparCML-style depth pipelining): within a
+//! ring step the send of chunk `k` is issued *before* the receive+merge of
+//! chunk `k−1`, so chunk `k`'s wire time overlaps chunk `k−1`'s decode and
+//! merge instead of serializing behind it. The chunked path performs exactly
+//! the same merge calls in exactly the same order as the unpipelined
+//! schedule over the same segments — only send timing changes — so results
+//! are bit-exact (see DESIGN.md §5f). Chunks ride the same epoch-fenced,
+//! FIFO-per-link frames as whole segments, so fault handling (retry, gang
+//! cancel, tree fallback) composes unchanged.
+
 use sparker_net::codec::Payload;
 use sparker_net::error::{NetError, NetResult};
+use sparker_net::pool;
 
 use crate::comm::RingComm;
 use crate::segment::Segment;
@@ -23,7 +37,7 @@ use crate::segment::Segment;
 /// A fully-reduced segment owned by this rank after reduce-scatter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OwnedSegment<S> {
-    /// Global segment index in `0..P·N`.
+    /// Global segment index in `0..P·N·C`.
     pub index: usize,
     pub segment: S,
 }
@@ -41,9 +55,23 @@ pub fn ring_reduce_scatter<S: Segment>(
     comm: &RingComm,
     segments: Vec<S>,
 ) -> NetResult<Vec<OwnedSegment<S>>> {
-    ring_reduce_scatter_by(comm, segments, &|acc: &mut S, incoming: S| {
-        acc.merge_from(&incoming)
-    })
+    ring_reduce_scatter_chunked(comm, segments, 1)
+}
+
+/// Chunk-pipelined variant of [`ring_reduce_scatter`]: `segments` holds
+/// `P·N·C` entries (`C` = `chunks`), each logical ring position owning `C`
+/// consecutive physical chunks. See the module docs for the pipelining rule.
+pub fn ring_reduce_scatter_chunked<S: Segment>(
+    comm: &RingComm,
+    segments: Vec<S>,
+    chunks: usize,
+) -> NetResult<Vec<OwnedSegment<S>>> {
+    ring_reduce_scatter_chunked_by(
+        comm,
+        segments,
+        &|acc: &mut S, incoming: S| acc.merge_from(&incoming),
+        chunks,
+    )
 }
 
 /// Closure-merge variant of [`ring_reduce_scatter`]: the paper's SAI passes
@@ -58,12 +86,37 @@ where
     V: Payload,
     F: Fn(&mut V, V) + Sync,
 {
+    ring_reduce_scatter_chunked_by(comm, segments, merge, 1)
+}
+
+/// Chunk-pipelined, closure-merge reduce-scatter — the most general form.
+///
+/// `segments` must contain exactly `P·N·chunks` entries, laid out so that
+/// channel `t` covers global indices `[t·N·C, (t+1)·N·C)` and logical ring
+/// position `j` within a channel covers `C` consecutive physical chunks.
+/// With `chunks == 1` this is exactly the classic unpipelined ring. Returns
+/// the `P·C` physical segments this rank owns, sorted by global index.
+pub fn ring_reduce_scatter_chunked_by<V, F>(
+    comm: &RingComm,
+    segments: Vec<V>,
+    merge: &F,
+    chunks: usize,
+) -> NetResult<Vec<OwnedSegment<V>>>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
     let n = comm.size();
     let p = comm.parallelism();
-    if segments.len() != p * n {
+    if chunks == 0 {
+        return Err(NetError::InvalidAddress(
+            "ring_reduce_scatter needs chunks >= 1".into(),
+        ));
+    }
+    if segments.len() != p * n * chunks {
         return Err(NetError::InvalidAddress(format!(
-            "ring_reduce_scatter needs P*N = {} segments, got {}",
-            p * n,
+            "ring_reduce_scatter needs P*N*C = {} segments, got {}",
+            p * n * chunks,
             segments.len()
         )));
     }
@@ -83,9 +136,9 @@ where
     let mut results: Vec<NetResult<()>> = Vec::with_capacity(p);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (t, chunk) in segments.chunks_mut(n).enumerate() {
+        for (t, slots) in segments.chunks_mut(n * chunks).enumerate() {
             let comm = comm.clone();
-            handles.push(scope.spawn(move || ring_pass(&comm, t, chunk, merge)));
+            handles.push(scope.spawn(move || ring_pass(&comm, t, slots, merge, chunks)));
         }
         for h in handles {
             results.push(h.join().expect("ring worker panicked"));
@@ -93,20 +146,35 @@ where
     });
     results.into_iter().collect::<NetResult<Vec<_>>>()?;
 
-    // After the passes, channel t's fully-reduced segment sits at local
-    // index (rank + 1) % N of its chunk; move those out without cloning.
+    // After the passes, channel t's fully-reduced logical segment sits at
+    // local position (rank + 1) % N — i.e. the C physical chunks under it;
+    // move those out without cloning.
     let owned = segments
         .into_iter()
         .enumerate()
-        .filter(|(index, _)| index % n == owned_local)
+        .filter(|(index, _)| (index / chunks) % n == owned_local)
         .map(|(index, segment)| OwnedSegment { index, segment })
         .collect();
     Ok(owned)
 }
 
-/// One channel's reduce-scatter pass over its `N` segments, in place.
-/// After return, `chunk[(rank + 1) % N]` holds the fully-reduced segment.
-fn ring_pass<V, F>(comm: &RingComm, channel: usize, chunk: &mut [V], merge: &F) -> NetResult<()>
+/// One channel's reduce-scatter pass over its `N·C` physical chunks, in
+/// place. After return, the `C` chunks at logical position `(rank + 1) % N`
+/// hold the fully-reduced segment.
+///
+/// Per step the chunk schedule is software-pipelined: the send of chunk `k`
+/// is issued before the receive+merge of chunk `k−1`, so while chunk `k`
+/// crosses the wire the previous chunk is decoded and merged. The merges
+/// themselves run in chunk order `0..C`, identical to the sequential
+/// schedule — pipelining reorders only communication, which is what keeps
+/// the result bit-exact.
+fn ring_pass<V, F>(
+    comm: &RingComm,
+    channel: usize,
+    slots: &mut [V],
+    merge: &F,
+    chunks: usize,
+) -> NetResult<()>
 where
     V: Payload,
     F: Fn(&mut V, V) + Sync,
@@ -114,17 +182,31 @@ where
     let n = comm.size();
     let rank = comm.rank();
     let (op, attempt) = comm.epoch();
+    let pool = pool::global();
     for step in 0..n - 1 {
-        let send_idx = (rank + n - step) % n;
-        let recv_idx = (rank + 2 * n - step - 1) % n;
+        let send_j = (rank + n - step) % n;
+        let recv_j = (rank + 2 * n - step - 1) % n;
         let started = sparker_obs::enabled().then(std::time::Instant::now);
-        let frame = chunk[send_idx].to_frame();
-        let sent_bytes = frame.len() as u64;
-        comm.send_next(channel, frame)?;
-        let incoming_frame = comm.recv_prev(channel)?;
-        let recv_bytes = incoming_frame.len() as u64;
-        let incoming = V::from_frame(incoming_frame)?;
-        merge(&mut chunk[recv_idx], incoming);
+        let mut sent_bytes = 0u64;
+        let mut recv_bytes = 0u64;
+        // Pipeline prologue: chunk 0 goes out before any merge of this step.
+        {
+            let frame = slots[send_j * chunks].to_frame_pooled(pool);
+            sent_bytes += frame.len() as u64;
+            comm.send_next(channel, frame)?;
+        }
+        for c in 1..=chunks {
+            // Send chunk c (if any) ahead of merging chunk c-1.
+            if c < chunks {
+                let frame = slots[send_j * chunks + c].to_frame_pooled(pool);
+                sent_bytes += frame.len() as u64;
+                comm.send_next(channel, frame)?;
+            }
+            let incoming_frame = comm.recv_prev(channel)?;
+            recv_bytes += incoming_frame.len() as u64;
+            let incoming = V::from_frame_pooled(incoming_frame, pool)?;
+            merge(&mut slots[recv_j * chunks + (c - 1)], incoming);
+        }
         if let Some(t0) = started {
             sparker_obs::trace::event_dur(
                 sparker_obs::Layer::Step,
@@ -137,6 +219,7 @@ where
                     ("peer", ((rank + 1) % n) as u64),
                     ("send_bytes", sent_bytes),
                     ("recv_bytes", recv_bytes),
+                    ("chunks", chunks as u64),
                     ("op", op),
                     ("epoch", attempt as u64),
                 ],
@@ -254,6 +337,89 @@ mod tests {
             // Both ranks must take the error path before any communication,
             // otherwise one rank would block forever.
             ring_reduce_scatter(&comm, segs).is_err()
+        });
+        assert_eq!(errs, vec![true, true]);
+    }
+
+    fn check_chunked(nodes: usize, epn: usize, parallelism: usize, chunks: usize, elems: usize) {
+        let spec = RingClusterSpec::unshaped(nodes, epn, parallelism);
+        let n = spec.total_executors();
+        let total = parallelism * n * chunks;
+        let per_rank = run_ring_cluster(&spec, |comm| {
+            let segs = seed_segments(comm.rank(), total, elems);
+            ring_reduce_scatter_chunked(&comm, segs, chunks).unwrap()
+        });
+        let mut seen = vec![false; total];
+        for (rank, owned) in per_rank.iter().enumerate() {
+            assert_eq!(owned.len(), parallelism * chunks, "rank {rank} owns P*C chunks");
+            for o in owned {
+                assert!(!seen[o.index], "chunk {} owned twice", o.index);
+                seen[o.index] = true;
+                let want = expected_reduced(o.index, n);
+                assert!(o.segment.0.iter().all(|&v| v == want), "chunk {} wrong", o.index);
+                // Ownership mapping over logical positions: (idx/C) % N == (r+1) % N.
+                assert_eq!((o.index / chunks) % n, (rank + 1) % n);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all chunks covered");
+    }
+
+    #[test]
+    fn chunked_matches_expected_sums() {
+        check_chunked(1, 4, 1, 2, 3);
+        check_chunked(2, 2, 2, 3, 5);
+        check_chunked(3, 1, 1, 4, 1);
+    }
+
+    #[test]
+    fn chunks_one_degenerates_to_unpipelined() {
+        // Same inputs through the chunked entry point with C=1 and the
+        // classic entry point must produce identical owned segments.
+        let spec = RingClusterSpec::unshaped(1, 3, 2);
+        let n = spec.total_executors();
+        let total = 2 * n;
+        let chunked = run_ring_cluster(&spec, |comm| {
+            let segs = seed_segments(comm.rank(), total, 4);
+            ring_reduce_scatter_chunked(&comm, segs, 1).unwrap()
+        });
+        let plain = run_ring_cluster(&spec, |comm| {
+            let segs = seed_segments(comm.rank(), total, 4);
+            ring_reduce_scatter(&comm, segs).unwrap()
+        });
+        assert_eq!(chunked, plain);
+    }
+
+    #[test]
+    fn chunked_equals_unchunked_reduction() {
+        // Integer data: any merge association is exact, so the multiset of
+        // reduced values must be identical across chunk counts.
+        let spec = RingClusterSpec::unshaped(1, 4, 1);
+        let n = 4;
+        for chunks in [1usize, 2, 4] {
+            let total = n * chunks;
+            let per_rank = run_ring_cluster(&spec, |comm| {
+                let segs = seed_segments(comm.rank(), total, 2);
+                ring_reduce_scatter_chunked(&comm, segs, chunks).unwrap()
+            });
+            for owned in &per_rank {
+                for o in owned {
+                    let want = expected_reduced(o.index, n);
+                    assert!(o.segment.0.iter().all(|&v| v == want));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_wrong_count_or_zero_chunks_is_an_error() {
+        let spec = RingClusterSpec::unshaped(1, 2, 1);
+        let errs = run_ring_cluster(&spec, |comm| {
+            // P*N*C = 4 but we pass 2; and chunks = 0 is always invalid.
+            let bad_count =
+                ring_reduce_scatter_chunked(&comm, seed_segments(comm.rank(), 2, 1), 2).is_err();
+            let zero_chunks =
+                ring_reduce_scatter_chunked(&comm, seed_segments(comm.rank(), 2, 1), 0).is_err();
+            bad_count && zero_chunks
         });
         assert_eq!(errs, vec![true, true]);
     }

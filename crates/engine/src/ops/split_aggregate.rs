@@ -33,7 +33,7 @@ use sparker_net::codec::{Decoder, Encoder, Payload};
 use sparker_net::topology::ExecutorId;
 
 use sparker_collectives::halving::recursive_halving_reduce_scatter_by;
-use sparker_collectives::ring::{ring_reduce_scatter_by, OwnedSegment};
+use sparker_collectives::ring::{ring_reduce_scatter_chunked_by, OwnedSegment};
 use sparker_collectives::segment::slice_bounds;
 
 use crate::cluster::{LocalCluster, RecoveryPolicy};
@@ -79,11 +79,21 @@ pub struct SplitAggOpts {
     pub algorithm: RsAlgorithm,
     /// In-memory-merge strategy of the compute stage.
     pub imm_mode: ImmMode,
+    /// Pipeline chunks per ring segment (`1` = classic unpipelined ring).
+    /// With `C > 1` the ring stage splits the aggregator into `P·N·C`
+    /// segments and overlaps chunk sends with chunk merges inside every
+    /// ring step. Requires [`RsAlgorithm::Ring`].
+    pub chunks: usize,
 }
 
 impl Default for SplitAggOpts {
     fn default() -> Self {
-        Self { parallelism: None, algorithm: RsAlgorithm::Ring, imm_mode: ImmMode::LocalFold }
+        Self {
+            parallelism: None,
+            algorithm: RsAlgorithm::Ring,
+            imm_mode: ImmMode::LocalFold,
+            chunks: 1,
+        }
     }
 }
 
@@ -128,6 +138,14 @@ where
     }
     let nexec = inner.num_executors();
     let parallelism = opts.parallelism.unwrap_or(inner.spec().ring_parallelism);
+    if opts.chunks == 0 {
+        return Err(EngineError::Invalid("split_aggregate needs chunks >= 1".into()));
+    }
+    if opts.chunks > 1 && opts.algorithm != RsAlgorithm::Ring {
+        return Err(EngineError::Invalid(
+            "chunk pipelining (chunks > 1) requires RsAlgorithm::Ring".into(),
+        ));
+    }
 
     let strategy = match opts.algorithm {
         RsAlgorithm::Ring => AggStrategy::Split,
@@ -193,7 +211,7 @@ where
     // Ring RS needs exactly P*N segments; halving needs a multiple of the
     // largest power of two <= N. Pad the segment count up when needed.
     let total_segments = match opts.algorithm {
-        RsAlgorithm::Ring => parallelism * n,
+        RsAlgorithm::Ring => parallelism * n * opts.chunks,
         RsAlgorithm::Halving => {
             let mut p2 = 1usize;
             while p2 * 2 <= n {
@@ -215,6 +233,7 @@ where
         let zero = zero.clone();
         let ser_bytes = ser_bytes.clone();
         let algorithm = opts.algorithm;
+        let chunks = opts.chunks;
         inner.run_stage(
             &ring_label,
             &all_execs,
@@ -253,10 +272,13 @@ where
 
                 let comm = inner2.collective_comm(&ring, ctx.executor, op, attempt);
                 let owned: Vec<OwnedSegment<V>> = match algorithm {
-                    RsAlgorithm::Ring => {
-                        ring_reduce_scatter_by(&comm, segments, &|a: &mut V, b: V| reduce(a, b))
-                            .map_err(TaskFailure::from)?
-                    }
+                    RsAlgorithm::Ring => ring_reduce_scatter_chunked_by(
+                        &comm,
+                        segments,
+                        &|a: &mut V, b: V| reduce(a, b),
+                        chunks,
+                    )
+                    .map_err(TaskFailure::from)?,
                     RsAlgorithm::Halving => recursive_halving_reduce_scatter_by(
                         &comm,
                         segments,
@@ -575,7 +597,11 @@ mod tests {
                 2,
                 8,
                 31,
-                SplitAggOpts { parallelism: Some(2), algorithm: RsAlgorithm::Halving, imm_mode: ImmMode::LocalFold },
+                SplitAggOpts {
+                    parallelism: Some(2),
+                    algorithm: RsAlgorithm::Halving,
+                    ..Default::default()
+                },
             );
             assert_eq!(v, expected(31), "executors {execs}");
             assert_eq!(m.strategy, AggStrategy::SplitHalving);
@@ -598,7 +624,7 @@ mod tests {
                 2,
                 9,
                 41,
-                SplitAggOpts { parallelism: Some(2), algorithm: RsAlgorithm::Ring, imm_mode },
+                SplitAggOpts { parallelism: Some(2), imm_mode, ..Default::default() },
             );
             assert_eq!(v, expected(41), "{imm_mode:?}");
         }
@@ -620,8 +646,8 @@ mod tests {
             |segs| segs.into_iter().sum::<f64>(),
             SplitAggOpts {
                 parallelism: Some(1),
-                algorithm: RsAlgorithm::Ring,
                 imm_mode: ImmMode::SharedFold,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -647,6 +673,44 @@ mod tests {
         .unwrap();
         assert_eq!(v, 55.0);
         assert!(m.task_attempts > 4 + 2, "stage must have been resubmitted");
+    }
+
+    #[test]
+    fn chunk_pipelining_matches_unpipelined() {
+        // Integer-valued data (sums of whole u64s scaled by integer factors):
+        // every merge association is exact, so all chunk counts must agree
+        // bitwise with the unpipelined result and the sequential expectation.
+        let want = expected(37);
+        for chunks in [1usize, 2, 4] {
+            let (v, m) = run_split(
+                4,
+                2,
+                8,
+                37,
+                SplitAggOpts { parallelism: Some(2), chunks, ..Default::default() },
+            );
+            assert_eq!(v, want, "chunks = {chunks}");
+            assert_eq!(m.stages, 2, "chunks = {chunks}");
+        }
+    }
+
+    #[test]
+    fn chunking_requires_ring_algorithm() {
+        let cluster = LocalCluster::new(ClusterSpec::local(2, 1));
+        let rdd: RddRef<u64> = Arc::new(ParallelCollection::new((1..=4).collect(), 2));
+        let err = split_aggregate(
+            &cluster,
+            rdd,
+            0.0f64,
+            |acc, x| acc + *x as f64,
+            |a, b| *a += b,
+            |u, i, _n| if i == 0 { *u } else { 0.0 },
+            |a, b| *a += b,
+            |segs: Vec<f64>| segs.into_iter().sum::<f64>(),
+            SplitAggOpts { algorithm: RsAlgorithm::Halving, chunks: 2, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Invalid(_)), "{err:?}");
     }
 
     #[test]

@@ -116,7 +116,7 @@ where
                 let comb = comb.clone();
                 let zero = zero.clone();
                 ctx.objects.merge_in(ObjectId { op, slot }, acc, move |a, b| {
-                    let old = std::mem::replace(a, zero);
+                    let old = std::mem::replace(a, zero.clone());
                     *a = comb(old, b);
                 });
                 Ok(())
@@ -293,7 +293,7 @@ where
                             let comb = comb.clone();
                             let zero = zero.clone();
                             ctx.objects.merge_in(ObjectId { op, slot: slot_of(j) }, u, move |a, b| {
-                                let old = std::mem::replace(a, zero);
+                                let old = std::mem::replace(a, zero.clone());
                                 *a = comb(old, b);
                             });
                         }

@@ -102,6 +102,15 @@ impl ByteBuf {
         self.as_ref().to_vec()
     }
 
+    /// Recovers the backing `Vec` if this frame is the sole owner of its
+    /// allocation, otherwise returns `self` unchanged. The recovered `Vec`
+    /// holds the *full* allocation (window offsets are discarded); callers
+    /// that reuse it — [`crate::pool::FramePool`] — must clear it first.
+    pub fn try_unwrap_vec(self) -> Result<Vec<u8>, Self> {
+        let Self { data, start, end } = self;
+        Arc::try_unwrap(data).map_err(|data| Self { data, start, end })
+    }
+
     fn take_array<const N: usize>(&mut self, what: &str) -> [u8; N] {
         assert!(self.len() >= N, "{what}: buffer underflow");
         let mut out = [0u8; N];
@@ -191,6 +200,18 @@ impl ByteBufMut {
 
     pub fn with_capacity(cap: usize) -> Self {
         Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Wraps an existing `Vec` as the encode buffer; writes append after its
+    /// current contents. Pool-recycled buffers arrive already cleared (see
+    /// [`crate::pool::FramePool::acquire`]), so only capacity is inherited.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
+    /// Spare capacity of the underlying allocation.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     pub fn len(&self) -> usize {

@@ -18,6 +18,7 @@
 //! aggregators.
 
 use crate::bytebuf::{ByteBuf, ByteBufMut};
+use crate::pool::FramePool;
 
 use crate::error::{NetError, NetResult};
 
@@ -36,6 +37,14 @@ impl Encoder {
     /// Creates an encoder with `cap` bytes pre-reserved.
     pub fn with_capacity(cap: usize) -> Self {
         Self { buf: ByteBufMut::with_capacity(cap) }
+    }
+
+    /// Creates an encoder whose backing buffer is drawn from `pool`
+    /// (allocation-free when the pool has a recycled buffer of the right
+    /// class). The buffer arrives cleared, so the resulting frame is
+    /// bit-identical to one from [`Encoder::with_capacity`].
+    pub fn pooled(pool: &FramePool, cap: usize) -> Self {
+        Self { buf: ByteBufMut::from_vec(pool.acquire(cap)) }
     }
 
     /// Number of bytes written so far.
@@ -168,6 +177,12 @@ impl Decoder {
     /// ByteBuf not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.remaining()
+    }
+
+    /// Consumes the decoder and returns the (possibly advanced) frame, e.g.
+    /// to recycle its backing allocation into a [`FramePool`].
+    pub fn into_frame(self) -> ByteBuf {
+        self.buf
     }
 
     fn need(&self, n: usize, what: &str) -> NetResult<()> {
@@ -353,6 +368,34 @@ pub trait Payload: Send + Sized + 'static {
             return Err(NetError::Codec(format!(
                 "{} trailing bytes after decode",
                 dec.remaining()
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Like [`Payload::to_frame`], but the encode buffer is drawn from
+    /// `pool`. Produces a bit-identical frame (a recycled buffer contributes
+    /// only capacity, never contents — see [`crate::pool`]); in steady state
+    /// the hot path allocates nothing.
+    fn to_frame_pooled(&self, pool: &FramePool) -> ByteBuf {
+        let mut enc = Encoder::pooled(pool, self.size_hint());
+        self.encode_into(&mut enc);
+        enc.finish()
+    }
+
+    /// Like [`Payload::from_frame`], but after decoding (the decode *copies*
+    /// values out of the frame) the frame's backing allocation is returned
+    /// to `pool` — unless something else still references it, in which case
+    /// it just drops.
+    fn from_frame_pooled(frame: ByteBuf, pool: &FramePool) -> NetResult<Self> {
+        let mut dec = Decoder::new(frame);
+        let decoded = Self::decode_from(&mut dec);
+        let trailing = dec.remaining();
+        pool.recycle_frame(dec.into_frame());
+        let v = decoded?;
+        if trailing != 0 {
+            return Err(NetError::Codec(format!(
+                "{trailing} trailing bytes after decode"
             )));
         }
         Ok(v)

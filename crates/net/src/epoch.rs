@@ -44,9 +44,11 @@ fn checksum(op: u64, attempt: u32, payload: &[u8]) -> u64 {
 /// Wraps `payload` in an epoch header for collective transmission.
 ///
 /// Layout: `magic u32 | checksum u64 | op u64 | attempt u32 | payload bytes`
-/// (the payload is length-prefixed via the codec's `put_bytes`).
+/// (the payload is length-prefixed via the codec's `put_bytes`). The header
+/// buffer is drawn from the global [`crate::pool::FramePool`]: this runs
+/// once per collective send, so in steady state wrapping allocates nothing.
 pub fn wrap(op: u64, attempt: u32, payload: &ByteBuf) -> ByteBuf {
-    let mut enc = Encoder::with_capacity(4 + 8 + 8 + 4 + 8 + payload.len());
+    let mut enc = Encoder::pooled(crate::pool::global(), 4 + 8 + 8 + 4 + 8 + payload.len());
     enc.put_u32(MAGIC);
     enc.put_u64(checksum(op, attempt, payload));
     enc.put_u64(op);

@@ -36,6 +36,11 @@
 //!   [`fault::FaultyTransport`] decorator replaying a [`fault::NetFaultPlan`]
 //!   (drops, delays, corruption, executor kills, partitions) against any
 //!   inner transport, the substrate of the chaos suite.
+//! * [`pool`] — the frame/buffer pool ([`FramePool`]): power-of-two
+//!   freelists that recycle encode-buffer allocations through the hot
+//!   reduction path (epoch wrapping, ring segment frames), with obs counters
+//!   for hits/misses/bytes-reused. Reuse is refcount-safe and can never leak
+//!   stale bytes (see the module docs and `tests/prop_pool.rs`).
 //! * [`epoch`] — the `(op, attempt)` epoch header plus FNV-1a checksum that
 //!   fences collective frames: stale-attempt frames are rejected by
 //!   receivers, corrupted frames fail as [`NetError::Codec`] instead of
@@ -53,6 +58,7 @@ pub mod codec;
 pub mod epoch;
 pub mod error;
 pub mod fault;
+pub mod pool;
 pub mod profile;
 pub mod sync;
 pub mod time;
@@ -63,6 +69,7 @@ pub use bytebuf::{ByteBuf, ByteBufMut};
 pub use codec::{Decoder, Encoder, Payload};
 pub use error::NetError;
 pub use fault::{FaultyTransport, NetFaultPlan};
+pub use pool::{FramePool, PoolStats};
 pub use profile::{LinkProfile, NetProfile, TransportKind};
 pub use topology::{ExecutorId, ExecutorInfo, RingTopology};
 pub use transport::{MeshTransport, Transport};

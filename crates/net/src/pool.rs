@@ -1,0 +1,326 @@
+//! Frame/buffer pool: allocation reuse for the reduction hot path.
+//!
+//! Every ring step used to pay two fresh `Vec` allocations: one when the
+//! segment was encoded (`Payload::to_frame`) and one when the epoch header
+//! was wrapped around it. A reduce-scatter over `N` ranks with `P` channels
+//! and `C` pipeline chunks issues `P·(N−1)·C` of each per rank — all of
+//! near-identical size, all dead within one step. [`FramePool`] recycles
+//! those backing `Vec`s through power-of-two freelists: encoders draw from
+//! the pool ([`crate::codec::Encoder::pooled`],
+//! [`crate::codec::Payload::to_frame_pooled`]) and decoded frames return
+//! their allocation once the value has been copied out
+//! ([`crate::codec::Payload::from_frame_pooled`]). In steady state a ring
+//! channel runs with zero frame allocations.
+//!
+//! # Why reuse cannot leak stale bytes
+//!
+//! A recycled buffer is handed out with `len == 0` — [`FramePool::acquire`]
+//! clears the `Vec`, so only its *capacity* survives recycling — and a
+//! [`ByteBuf`] frame exposes exactly the bytes the encoder wrote, never the
+//! allocation's spare tail. A buffer that previously held garbage (or a
+//! corrupted frame) therefore encodes and decodes bit-identically to a fresh
+//! allocation; `tests/prop_pool.rs` pins this for every `Payload` impl.
+//!
+//! # Why reuse cannot race a reader
+//!
+//! [`FramePool::recycle_frame`] recovers the backing `Vec` only when the
+//! frame's `Arc` is the sole owner (`Arc::try_unwrap`). A frame still
+//! referenced anywhere — a zero-copy slice, a clone queued in a transport —
+//! simply drops normally and is never reused under a reader.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use sparker_obs::metrics::{self, Counter};
+
+use crate::bytebuf::ByteBuf;
+use crate::sync::Mutex;
+
+/// Smallest pooled class: 2^6 = 64 bytes. Tinier buffers are cheaper to
+/// allocate than to bucket.
+const MIN_CLASS: u32 = 6;
+/// Largest pooled class: 2^22 = 4 MiB. Aggregator segments far above this
+/// are rare enough that caching them would just pin memory.
+const MAX_CLASS: u32 = 22;
+/// Retained buffers per size class; excess recycles are dropped.
+const MAX_PER_CLASS: usize = 32;
+
+/// Point-in-time counters of a [`FramePool`] (monotonic since creation or
+/// the last [`FramePool::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from the freelist (no allocation).
+    pub hits: u64,
+    /// Acquires that fell through to a fresh allocation — with the pool
+    /// disabled every acquire is a miss, so this counts hot-path frame
+    /// allocations in both configurations.
+    pub misses: u64,
+    /// Capacity bytes handed back out by hits.
+    pub bytes_reused: u64,
+}
+
+/// A freelist of reusable encode buffers, bucketed by power-of-two capacity.
+pub struct FramePool {
+    classes: Vec<Mutex<Vec<Vec<u8>>>>,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_reused: AtomicU64,
+}
+
+impl Default for FramePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FramePool {
+    /// An enabled pool with empty freelists.
+    pub fn new() -> Self {
+        Self {
+            classes: (MIN_CLASS..=MAX_CLASS).map(|_| Mutex::new(Vec::new())).collect(),
+            enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_reused: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool that never reuses: every acquire allocates (and counts a miss),
+    /// every recycle is dropped. The unpooled baseline for A/B benchmarks.
+    pub fn disabled() -> Self {
+        let p = Self::new();
+        p.set_enabled(false);
+        p
+    }
+
+    /// Turns reuse on or off at runtime (stats keep counting either way).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Freelist class that buffers of `capacity` are stored under: buffers in
+    /// class `c` have capacity in `[2^c, 2^(c+1))`, so any buffer popped from
+    /// class `ceil_log2(cap)` can hold `cap` bytes without growing.
+    fn store_class(capacity: usize) -> Option<usize> {
+        if capacity == 0 {
+            return None;
+        }
+        let c = usize::BITS - 1 - capacity.leading_zeros(); // floor(log2)
+        (MIN_CLASS..=MAX_CLASS).contains(&c).then(|| (c - MIN_CLASS) as usize)
+    }
+
+    fn fetch_class(cap: usize) -> Option<usize> {
+        let c = usize::BITS - cap.next_power_of_two().leading_zeros() - 1; // ceil(log2)
+        let c = c.max(MIN_CLASS);
+        (c <= MAX_CLASS).then(|| (c - MIN_CLASS) as usize)
+    }
+
+    /// Returns an empty `Vec` with at least `cap` bytes of capacity,
+    /// reusing a recycled buffer when one is available.
+    ///
+    /// Pool misses in the pooled size range allocate the full class size
+    /// (`cap` rounded up to a power of two), so a pool-allocated buffer
+    /// recycles into exactly the class a same-sized acquire fetches from —
+    /// without the round-up, a 100-byte buffer would be stored under class
+    /// `floor(log2 100)` but looked up under `ceil(log2 100)` and never hit.
+    pub fn acquire(&self, cap: usize) -> Vec<u8> {
+        if self.is_enabled() {
+            if let Some(class) = Self::fetch_class(cap.max(1)) {
+                if let Some(mut buf) = self.classes[class].lock().pop() {
+                    debug_assert!(buf.capacity() >= cap);
+                    buf.clear(); // capacity survives, stale contents do not
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.bytes_reused.fetch_add(buf.capacity() as u64, Ordering::Relaxed);
+                    obs_hit(buf.capacity() as u64);
+                    return buf;
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs_miss();
+                return Vec::with_capacity(1usize << (class as u32 + MIN_CLASS));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs_miss();
+        Vec::with_capacity(cap)
+    }
+
+    /// Returns a buffer's allocation to the freelist. Buffers outside the
+    /// pooled size range (or beyond the per-class cap) are dropped.
+    pub fn recycle_vec(&self, buf: Vec<u8>) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(class) = Self::store_class(buf.capacity()) {
+            let mut shelf = self.classes[class].lock();
+            if shelf.len() < MAX_PER_CLASS {
+                shelf.push(buf);
+            }
+        }
+    }
+
+    /// Tries to reclaim a frame's backing allocation for reuse. Succeeds
+    /// (returns `true`) only when `frame` is the sole owner of its `Arc`;
+    /// shared frames drop normally and are never reused under a reader.
+    pub fn recycle_frame(&self, frame: ByteBuf) -> bool {
+        match frame.try_unwrap_vec() {
+            Ok(buf) => {
+                self.recycle_vec(buf);
+                true
+            }
+            Err(_shared) => false,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_reused: self.bytes_reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (freelists are kept); benches measure deltas
+    /// between phases with this.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.bytes_reused.store(0, Ordering::Relaxed);
+    }
+}
+
+fn obs_hit(bytes: u64) {
+    static HITS: OnceLock<Arc<Counter>> = OnceLock::new();
+    static BYTES: OnceLock<Arc<Counter>> = OnceLock::new();
+    HITS.get_or_init(|| metrics::counter("net.pool.hits")).inc();
+    BYTES.get_or_init(|| metrics::counter("net.pool.bytes_reused")).add(bytes);
+}
+
+fn obs_miss() {
+    static MISSES: OnceLock<Arc<Counter>> = OnceLock::new();
+    MISSES.get_or_init(|| metrics::counter("net.pool.misses")).inc();
+}
+
+/// The process-wide pool the hot paths (epoch wrapping, ring passes) draw
+/// from. Benches flip it with [`FramePool::set_enabled`] for A/B runs.
+pub fn global() -> &'static FramePool {
+    static GLOBAL: OnceLock<FramePool> = OnceLock::new();
+    GLOBAL.get_or_init(FramePool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_recycle_reuses_the_allocation() {
+        let pool = FramePool::new();
+        let mut a = pool.acquire(100);
+        a.extend_from_slice(&[0xAA; 100]);
+        let ptr = a.as_ptr() as usize;
+        pool.recycle_vec(a);
+        let b = pool.acquire(100);
+        assert_eq!(b.as_ptr() as usize, ptr, "same allocation handed back");
+        assert!(b.is_empty(), "recycled buffer is cleared");
+        assert!(b.capacity() >= 100);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.bytes_reused >= 100);
+    }
+
+    #[test]
+    fn recycle_frame_requires_sole_ownership() {
+        let pool = FramePool::new();
+        let frame = ByteBuf::from(vec![1u8; 128]);
+        let clone = frame.clone();
+        assert!(!pool.recycle_frame(frame), "shared frame must not be reclaimed");
+        assert!(pool.recycle_frame(clone), "last owner reclaims");
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.acquire(128).capacity(), 128);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn windowed_frame_still_reclaims_full_allocation() {
+        let pool = FramePool::new();
+        let mut frame = ByteBuf::from(vec![7u8; 256]);
+        let head = frame.split_to(100);
+        drop(frame); // tail view gone; head is now sole owner
+        assert!(pool.recycle_frame(head));
+        assert!(pool.acquire(200).capacity() >= 256);
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates_and_counts_misses() {
+        let pool = FramePool::disabled();
+        let a = pool.acquire(64);
+        pool.recycle_vec(a);
+        let _b = pool.acquire(64);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.bytes_reused), (0, 2, 0));
+    }
+
+    #[test]
+    fn class_bounds_guarantee_fit() {
+        let pool = FramePool::new();
+        // A 100-byte-capacity buffer lands in class floor(log2 100) = 6 (64).
+        // An acquire for 100 looks in class ceil(log2 100) = 7 (128), so it
+        // must NOT get the 100-byte buffer back (it could be too small for
+        // a 128-byte request sharing the class).
+        let small = Vec::with_capacity(100);
+        pool.recycle_vec(small);
+        let got = pool.acquire(128);
+        assert!(got.capacity() >= 128);
+        assert_eq!(pool.stats().misses, 1);
+        // Same-power-of-two roundtrip does fit.
+        pool.recycle_vec(Vec::with_capacity(128));
+        assert!(pool.acquire(128).capacity() >= 128);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn oversized_and_tiny_buffers_are_not_pooled() {
+        let pool = FramePool::new();
+        pool.recycle_vec(Vec::with_capacity(8)); // below MIN_CLASS
+        pool.recycle_vec(Vec::with_capacity(64 << 20)); // above MAX_CLASS
+        // Neither was retained: both acquires below fall through to misses.
+        assert!(pool.acquire(8).capacity() >= 8); // rounded up to MIN class
+        assert_eq!(pool.acquire(64 << 20).capacity(), 64 << 20); // beyond range: exact
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn per_class_cap_bounds_retention() {
+        let pool = FramePool::new();
+        for _ in 0..(MAX_PER_CLASS + 10) {
+            pool.recycle_vec(Vec::with_capacity(1024));
+        }
+        let mut reused = 0;
+        for _ in 0..(MAX_PER_CLASS + 10) {
+            let b = pool.acquire(1024);
+            if b.capacity() >= 1024 {
+                reused += 1;
+            }
+        }
+        assert_eq!(pool.stats().hits as usize, MAX_PER_CLASS);
+        assert_eq!(reused, MAX_PER_CLASS + 10); // misses still allocate correctly
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_but_keeps_buffers() {
+        let pool = FramePool::new();
+        pool.recycle_vec(Vec::with_capacity(256));
+        let _ = pool.acquire(256);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.recycle_vec(Vec::with_capacity(256));
+        assert!(pool.acquire(256).capacity() >= 256);
+        assert_eq!(pool.stats().hits, 1);
+    }
+}

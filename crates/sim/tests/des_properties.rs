@@ -1,7 +1,7 @@
 //! Property tests on the discrete-event engine: the invariants any valid
 //! schedule must satisfy, for randomly generated op DAGs.
 
-use sparker_testkit::{check, tk_assert, Config, Source};
+use sparker_testkit::{check, tk_assert, Config};
 
 use sparker_sim::des::{DesParams, OpGraph, OpKind};
 

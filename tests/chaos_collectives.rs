@@ -47,6 +47,15 @@ fn expected() -> Vec<f64> {
 }
 
 fn run_split(cluster: &LocalCluster) -> EngineResult<(Vec<f64>, AggMetrics)> {
+    run_split_chunked(cluster, 1)
+}
+
+/// Like [`run_split`] but over the chunk-pipelined ring (`chunks > 1`
+/// overlaps chunk sends with chunk merges inside every ring step).
+fn run_split_chunked(
+    cluster: &LocalCluster,
+    chunks: usize,
+) -> EngineResult<(Vec<f64>, AggMetrics)> {
     let data = cluster.parallelize((1..=24u64).collect::<Vec<_>>(), 6);
     data.split_aggregate(
         vec![0.0f64; DIM],
@@ -71,7 +80,7 @@ fn run_split(cluster: &LocalCluster) -> EngineResult<(Vec<f64>, AggMetrics)> {
             }
         },
         |segs: Vec<F64Array>| F64Array(segs.into_iter().flat_map(|s| s.0).collect()),
-        SplitAggOpts { parallelism: Some(2), ..Default::default() },
+        SplitAggOpts { parallelism: Some(2), chunks, ..Default::default() },
     )
     .map(|(v, m)| (v.0, m))
 }
@@ -271,6 +280,101 @@ fn partitioned_link_exhausts_gang_and_still_answers_exactly() {
         "degradation must be bounded by deadlines, took {:?}",
         t.elapsed()
     );
+}
+
+#[test]
+fn chunked_ring_random_fault_plans_never_hang_and_never_corrupt() {
+    // Same contract as the unpipelined case, with chunk pipelining on: a
+    // drop/corrupt/kill can now land on any *chunk* frame mid-step, and the
+    // outcome must still be the exact answer or a typed error, in bounded
+    // time.
+    let cfg = Config { cases: 8, seed: 0x0c4a_05ca_fe00_0003, max_shrink_trials: 30 };
+    check(&cfg, |src| {
+        let plan = arb_plan(src);
+        let chunks = src.usize_in(1..5);
+        let cluster = LocalCluster::new(chaos_spec(plan));
+        let t = Instant::now();
+        let out = run_split_chunked(&cluster, chunks);
+        let elapsed = t.elapsed();
+        tk_assert!(elapsed < Duration::from_secs(30), "chaos case took {elapsed:?}");
+        match out {
+            Ok((v, _)) => tk_assert_eq!(v, expected()),
+            Err(_) => {}
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn chunk_frame_drop_retries_within_gang_budget() {
+    // With C = 3 chunks per segment the dropped frame is a chunk frame in
+    // the middle of a pipelined step; the receive deadline catches it and
+    // the resubmitted gang must answer exactly without downgrading.
+    let plan = NetFaultPlan::new().drop_nth(ExecutorId(0), ExecutorId(1), 2);
+    let cluster = LocalCluster::new(chaos_spec(plan));
+    let (v, m) = run_split_chunked(&cluster, 3).unwrap();
+    assert_eq!(v, expected());
+    assert!(!m.downgraded, "one dropped chunk must not exhaust the gang");
+}
+
+#[test]
+fn corrupted_chunk_frame_is_rejected_and_retried() {
+    // The checksum rejects the flipped chunk; the retry replays the whole
+    // pipelined schedule and must land on the identical answer.
+    let plan = NetFaultPlan::new().corrupt_nth(ExecutorId(2), ExecutorId(0), 3);
+    let cluster = LocalCluster::new(chaos_spec(plan));
+    let (v, m) = run_split_chunked(&cluster, 3).unwrap();
+    assert_eq!(v, expected());
+    assert!(!m.downgraded);
+}
+
+#[test]
+fn kill_mid_pipelined_ring_degrades_to_tree_fallback() {
+    // Executor death mid-pipeline: both gang attempts fail, and the tree
+    // fallback (which splits over the same P*N*C segment space) still
+    // produces the exact answer.
+    let plan = NetFaultPlan::new().kill_after_sends(ExecutorId(1), 4);
+    let cluster = LocalCluster::new(chaos_spec(plan));
+    let t = Instant::now();
+    let (v, m) = run_split_chunked(&cluster, 3).unwrap();
+    assert_eq!(v, expected());
+    assert!(m.downgraded, "gang exhaustion must be recorded in metrics");
+    assert!(t.elapsed() < Duration::from_secs(30), "fallback must be bounded");
+}
+
+#[test]
+fn striped_imm_concurrent_merges_lose_nothing_under_load() {
+    // Mirror of engine::objects::concurrent_merges_lose_nothing at chaos
+    // scale: heavier values (vectors), more threads than stripes, and both
+    // stripe configurations must agree exactly with the serial total.
+    use sparker::engine::objects::{MutableObjectManager, ObjectId};
+    let id = ObjectId { op: 9, slot: 0 };
+    let threads = 8usize;
+    let per = 500usize;
+    let mut totals = Vec::new();
+    for stripes in [1usize, 8] {
+        let m = std::sync::Arc::new(MutableObjectManager::with_stripes(stripes));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let v = vec![(t * per + i) as f64; DIM];
+                        m.merge_in(id, v, |a: &mut Vec<f64>, b: Vec<f64>| {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        let got = m.take::<Vec<f64>>(id).expect("merged vector present");
+        totals.push(got);
+    }
+    let want: f64 = (0..threads * per).map(|k| k as f64).sum();
+    assert_eq!(totals[0], vec![want; DIM], "single-stripe total wrong");
+    assert_eq!(totals[0], totals[1], "striped IMM diverged from locked IMM");
 }
 
 #[test]

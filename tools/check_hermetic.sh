@@ -27,10 +27,17 @@ for manifest in Cargo.toml crates/*/Cargo.toml; do
 done
 
 # 2. Lockfile audit — no package may resolve to a registry or git source.
-if [ -f Cargo.lock ] && grep -q '^source = ' Cargo.lock; then
-  echo "ERROR: Cargo.lock contains non-path package sources:"
-  grep '^source = ' Cargo.lock | sort -u | sed 's/^/    /'
-  fail=1
+#    Name the offending packages (a bare source URL is useless for fixing).
+if [ -f Cargo.lock ]; then
+  offenders=$(awk '/^name = /{n=$3} /^source = /{print n " <- " $0}' Cargo.lock | sort -u)
+  if [ -n "$offenders" ]; then
+    echo "ERROR: Cargo.lock resolves these packages from a registry/git source:"
+    echo "$offenders" | sed 's/^/    /'
+    echo "    remediation: replace each with an in-repo path dependency" \
+         "(path = \"crates/<name>\" or a [workspace.dependencies] entry)," \
+         "then run 'cargo build --offline' to regenerate Cargo.lock."
+    fail=1
+  fi
 fi
 
 if [ "$fail" -ne 0 ]; then
@@ -46,17 +53,25 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo build --offline --benches
 
+# Deadline-bounded smoke runner for steps 4-7: all of them are "run this
+# cargo invocation offline, fail the gate on non-zero or on a hang".
+smoke() {
+  local sub="$1"
+  shift
+  timeout 120 cargo "$sub" -q --offline "$@"
+}
+
 # 4. Chaos gate — the transport-fault-injection suite, run explicitly and
 #    under a wall-clock bound. Its seeds are fixed (deterministic, offline);
 #    every wait in the collectives is deadline-bounded, so a timeout here
 #    means a fault path regressed into a hang.
-timeout 120 cargo test -q --offline -p sparker-repro --test chaos_collectives
+smoke test -p sparker-repro --test chaos_collectives
 
 # 5. Trace-export smoke — runs a traced training run, exports Chrome trace
 #    JSON, re-parses it with the in-repo parser, and checks every span-layer
 #    emitted (the example exits non-zero if any check fails). Still fully
 #    offline: sparker-obs is std-only and the export lands under results/.
-timeout 120 cargo run -q --release --offline --example trace_run
+smoke run --release --example trace_run
 
 # 6. Sparse-aggregation smoke — runs the density ablation in --smoke shape
 #    (small dim, densities 100% and 1%). The binary itself asserts the
@@ -64,6 +79,12 @@ timeout 120 cargo run -q --release --offline --example trace_run
 #    ≥5x fewer wire bytes than dense at 1% density, and adaptive no worse
 #    than dense (plus per-segment header) at 100%. Crate path-only-ness is
 #    already covered by the step-1 crates/*/Cargo.toml glob.
-timeout 120 cargo run -q --release --offline -p sparker-bench --bin ablation_sparse_density -- --smoke
+smoke run --release -p sparker-bench --bin ablation_sparse_density -- --smoke
+
+# 7. Hot-path perf-regression gate — bench_hotpath asserts its own bounds:
+#    pooled path allocates >=10x fewer frames than unpooled, chunk-pipelined
+#    ring is bit-exact with unpipelined, striped IMM totals equal the
+#    single-lock totals. Writes results/bench_hotpath.json + BENCH_5.json.
+smoke run --release -p sparker-bench --bin bench_hotpath -- --smoke
 
 echo "hermetic check passed: built and tested fully offline, path-only deps"

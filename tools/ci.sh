@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Tiered CI driver — one command from a clean checkout, fully offline.
+#
+#   tier 1  hermeticity + build + full test suite, warnings denied
+#           (tools/check_hermetic.sh under RUSTFLAGS="-D warnings";
+#           check_hermetic's own steps 4-7 cover the chaos gate, trace
+#           export, sparse ablation, and the hot-path perf gate)
+#   tier 2  chaos + property suites, each under an explicit wall-clock
+#           bound (a timeout means a fault path regressed into a hang)
+#   tier 3  bench smoke: the self-asserting harnesses in --smoke shape
+#
+# Every step's wall-clock is recorded and printed as a summary at the end.
+# On failure the script exits non-zero naming the first failed tier/step.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+steps=()       # "tier<TAB>name<TAB>seconds<TAB>status"
+failed_tier=""
+failed_step=""
+
+# run <tier> <name> <cmd...> — times the command; on failure records the
+# first failing tier/step and skips every later step.
+run() {
+  local tier="$1" name="$2"
+  shift 2
+  if [ -n "$failed_tier" ]; then
+    steps+=("$tier	$name	-	skipped")
+    return
+  fi
+  echo "==> [tier $tier] $name"
+  local t0 t1 status
+  t0=$(date +%s)
+  if "$@"; then
+    status=ok
+  else
+    status=FAILED
+    failed_tier="$tier"
+    failed_step="$name"
+  fi
+  t1=$(date +%s)
+  steps+=("$tier	$name	$((t1 - t0))s	$status")
+}
+
+# --- tier 1: hermetic build + tests, warnings denied ---------------------
+RUSTFLAGS="-D warnings" run 1 "check_hermetic" tools/check_hermetic.sh
+
+# --- tier 2: chaos + property suites under timeouts ----------------------
+run 2 "chaos_collectives"  timeout 180 cargo test -q --offline -p sparker-repro --test chaos_collectives
+run 2 "fault_tolerance"    timeout 180 cargo test -q --offline -p sparker-repro --test fault_tolerance
+run 2 "prop_payload"       timeout 180 cargo test -q --offline -p sparker-repro --test prop_payload
+run 2 "prop_pool"          timeout 180 cargo test -q --offline -p sparker-repro --test prop_pool
+run 2 "prop_collectives"   timeout 180 cargo test -q --offline -p sparker-repro --test prop_collectives
+run 2 "prop_sparse"        timeout 180 cargo test -q --offline -p sparker-repro --test prop_sparse
+run 2 "prop_ml"            timeout 180 cargo test -q --offline -p sparker-repro --test prop_ml
+
+# --- tier 3: bench smoke (self-asserting harnesses) ----------------------
+run 3 "bench_hotpath"      timeout 180 cargo run -q --offline --release -p sparker-bench --bin bench_hotpath -- --smoke
+run 3 "ablation_sparse"    timeout 180 cargo run -q --offline --release -p sparker-bench --bin ablation_sparse_density -- --smoke
+
+# --- summary -------------------------------------------------------------
+echo
+echo "tier  step                wall   status"
+echo "---------------------------------------"
+for s in "${steps[@]}"; do
+  IFS='	' read -r tier name secs status <<<"$s"
+  printf "%-5s %-19s %-6s %s\n" "$tier" "$name" "$secs" "$status"
+done
+
+if [ -n "$failed_tier" ]; then
+  echo
+  echo "CI FAILED at tier $failed_tier (step: $failed_step)"
+  exit 1
+fi
+echo
+echo "CI passed: all three tiers green, fully offline"
