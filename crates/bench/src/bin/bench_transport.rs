@@ -1,0 +1,312 @@
+//! Transport ladder: in-process channels vs real TCP loopback (`BENCH_6.json`).
+//!
+//! Quantifies what the socket hop costs on the exact message shapes the ring
+//! moves. For each payload size on a ladder from 1 KiB to 4 MiB, both
+//! transports run the same two workloads between two ranks:
+//!
+//! * **ping-pong** — median round-trip time over single-frame exchanges,
+//!   the latency a ring hop sees;
+//! * **stream** — many frames in flight one way, the throughput a pipelined
+//!   chunk train sees.
+//!
+//! The in-process side is [`MeshTransport::unshaped`] (sender-pays queues,
+//! no wire); the TCP side is [`TcpTransport::pair_loopback`] — one real
+//! kernel socket per direction pair, length-prefixed `SPKT` frames, the
+//! background IO thread, the works (DESIGN.md §5g). Both sides draw payloads
+//! from the global [`sparker_net::FramePool`] and recycle every received
+//! frame, so `--smoke` can assert the PR-5 invariant survives the socket
+//! path: **zero frame allocations in TCP steady state** (pool misses stay
+//! flat across hundreds of roundtrips).
+//!
+//! JSON (no timestamps, diffable across PRs) lands in
+//! `results/bench_transport.json` and the repo root `BENCH_6.json`, with the
+//! paper's §4.1 communicator latencies recorded alongside for context.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sparker_bench::{print_header, Table};
+use sparker_net::error::NetResult;
+use sparker_net::pool;
+use sparker_net::tcp::TcpTransport;
+use sparker_net::topology::{ExecutorId, ExecutorInfo};
+use sparker_net::transport::{MeshTransport, Transport};
+use sparker_net::ByteBuf;
+
+const CH: usize = 0;
+const R0: ExecutorId = ExecutorId(0);
+const R1: ExecutorId = ExecutorId(1);
+
+/// A pooled payload of `size` bytes with a little structure in it.
+fn payload(size: usize) -> ByteBuf {
+    let mut v = pool::global().acquire(size);
+    v.resize(size, 0);
+    for (i, b) in v.iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    ByteBuf::from(v)
+}
+
+/// `iters` single-frame round trips rank0→rank1→rank0; returns the median
+/// RTT. The echo side bounces the received frame back untouched (the send
+/// path recycles it); the origin recycles each returned frame, so in steady
+/// state no frame allocates.
+fn ping_pong(net: &Arc<dyn Transport>, size: usize, iters: usize) -> Duration {
+    let net2 = net.clone();
+    let echo = std::thread::spawn(move || {
+        for _ in 0..iters {
+            let m = net2.recv(R1, R0, CH).expect("echo recv");
+            net2.send(R1, R0, CH, m).expect("echo send");
+        }
+    });
+    let mut rtts = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        net.send(R0, R1, CH, payload(size)).expect("ping send");
+        let back = net.recv(R0, R1, CH).expect("ping recv");
+        rtts.push(t0.elapsed());
+        assert_eq!(back.len(), size, "echo changed the frame length");
+        pool::global().recycle_frame(back);
+    }
+    echo.join().expect("echo thread");
+    rtts.sort();
+    rtts[rtts.len() / 2]
+}
+
+/// Streams `frames` one way while the peer drains and recycles; returns
+/// payload bytes per second.
+fn stream(net: &Arc<dyn Transport>, size: usize, frames: usize) -> f64 {
+    let net2 = net.clone();
+    let drain = std::thread::spawn(move || {
+        for _ in 0..frames {
+            let m = net2.recv(R1, R0, CH).expect("stream recv");
+            pool::global().recycle_frame(m);
+        }
+    });
+    let t0 = Instant::now();
+    for _ in 0..frames {
+        net.send(R0, R1, CH, payload(size)).expect("stream send");
+    }
+    drain.join().expect("drain thread");
+    (size * frames) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Two-rank in-process mesh as a `dyn Transport`.
+fn mesh_pair() -> Arc<dyn Transport> {
+    let infos: Vec<ExecutorInfo> = (0..2)
+        .map(|i| ExecutorInfo {
+            id: ExecutorId(i as u32),
+            host: format!("proc-{i:03}"),
+            node: i,
+            cores: 1,
+        })
+        .collect();
+    MeshTransport::unshaped(&infos, 1)
+}
+
+/// TCP loopback pair glued into one `dyn Transport` view: rank 0 operations
+/// go to side `a`, rank 1 operations to side `b` — each side is a full
+/// transport bound to its own end of the same kernel socket.
+struct TcpPair {
+    a: Arc<TcpTransport>,
+    b: Arc<TcpTransport>,
+}
+
+impl TcpPair {
+    fn side(&self, rank: ExecutorId) -> &TcpTransport {
+        if rank.0 == 0 {
+            &self.a
+        } else {
+            &self.b
+        }
+    }
+}
+
+impl Transport for TcpPair {
+    fn size(&self) -> usize {
+        2
+    }
+    fn channels(&self) -> usize {
+        self.a.channels()
+    }
+    fn send(
+        &self,
+        from: ExecutorId,
+        to: ExecutorId,
+        channel: usize,
+        msg: ByteBuf,
+    ) -> NetResult<()> {
+        self.side(from).send(from, to, channel, msg)
+    }
+    fn recv(
+        &self,
+        at: ExecutorId,
+        from: ExecutorId,
+        channel: usize,
+    ) -> NetResult<ByteBuf> {
+        self.side(at).recv(at, from, channel)
+    }
+    fn recv_timeout(
+        &self,
+        at: ExecutorId,
+        from: ExecutorId,
+        channel: usize,
+        timeout: Duration,
+    ) -> NetResult<ByteBuf> {
+        self.side(at).recv_timeout(at, from, channel, timeout)
+    }
+}
+
+fn fmt_rtt(d: Duration) -> String {
+    format!("{:.1}us", d.as_secs_f64() * 1e6)
+}
+
+fn fmt_tput(bps: f64) -> String {
+    format!("{:.2} GiB/s", bps / (1u64 << 30) as f64)
+}
+
+/// Minimal JSON writer (same shape as bench_hotpath's — the workspace stays
+/// dependency-free).
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::from("{\n"))
+    }
+    fn field(&mut self, key: &str, value: String) -> &mut Self {
+        if !self.0.ends_with("{\n") {
+            self.0.push_str(",\n");
+        }
+        self.0.push_str(&format!("  \"{key}\": {value}"));
+        self
+    }
+    fn finish(mut self) -> String {
+        self.0.push_str("\n}\n");
+        self.0
+    }
+}
+
+fn obj(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    print_header(
+        "bench_transport",
+        "message ladder: in-process mesh vs TCP loopback",
+        "Median ping-pong RTT and one-way streaming throughput per payload\n\
+         size, on both transports. --smoke also asserts zero steady-state\n\
+         frame allocations on the pooled TCP path. JSON lands in\n\
+         results/bench_transport.json and BENCH_6.json.",
+    );
+
+    let sizes: &[usize] = if smoke {
+        &[1 << 10, 64 << 10]
+    } else {
+        &[1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20]
+    };
+    let (pp_iters, stream_frames) = if smoke { (80, 200) } else { (300, 600) };
+
+    let mesh = mesh_pair();
+    let (a, b) = TcpTransport::pair_loopback(1).expect("tcp loopback pair");
+    let tcp: Arc<dyn Transport> = Arc::new(TcpPair { a, b });
+    pool::global().set_enabled(true);
+
+    let mut table =
+        Table::new(vec!["Size", "mesh RTT", "tcp RTT", "mesh stream", "tcp stream"]);
+    let mut rows: Vec<String> = Vec::new();
+    for &size in sizes {
+        // Warm both directions so the pool's freelists hold this class.
+        ping_pong(&mesh, size, 8);
+        ping_pong(&tcp, size, 8);
+        let mesh_rtt = ping_pong(&mesh, size, pp_iters);
+        let tcp_rtt = ping_pong(&tcp, size, pp_iters);
+        let mesh_bps = stream(&mesh, size, stream_frames);
+        let tcp_bps = stream(&tcp, size, stream_frames);
+        table.row(vec![
+            format!("{} KiB", size >> 10),
+            fmt_rtt(mesh_rtt),
+            fmt_rtt(tcp_rtt),
+            fmt_tput(mesh_bps),
+            fmt_tput(tcp_bps),
+        ]);
+        rows.push(obj(&[
+            ("payload_bytes", size.to_string()),
+            ("mesh_rtt_us", format!("{:.2}", mesh_rtt.as_secs_f64() * 1e6)),
+            ("tcp_rtt_us", format!("{:.2}", tcp_rtt.as_secs_f64() * 1e6)),
+            ("mesh_stream_bytes_per_sec", format!("{mesh_bps:.0}")),
+            ("tcp_stream_bytes_per_sec", format!("{tcp_bps:.0}")),
+        ]));
+    }
+    table.print();
+
+    // Steady-state allocation check on the pooled TCP path: after warmup,
+    // roundtrips must be served entirely from the frame pool. This is the
+    // PR-5 zero-allocation invariant extended across a real kernel socket
+    // (wire frames, reassembly, and payload carving included).
+    let alloc_size = 16 << 10;
+    ping_pong(&tcp, alloc_size, 50);
+    let measure = || {
+        let before = pool::global().stats();
+        ping_pong(&tcp, alloc_size, 200);
+        let after = pool::global().stats();
+        (after.misses - before.misses, after.hits - before.hits)
+    };
+    let (mut alloc_delta, mut hits_delta) = measure();
+    if alloc_delta != 0 {
+        // A scheduling burst can demand one more buffer than warmup seeded;
+        // that buffer is pooled now, so a true steady state shows up as a
+        // clean second window.
+        (alloc_delta, hits_delta) = measure();
+    }
+    println!(
+        "\ntcp steady state over 200 pooled roundtrips: {alloc_delta} frame allocations, \
+         {hits_delta} pool hits"
+    );
+    if smoke {
+        assert_eq!(
+            alloc_delta, 0,
+            "pooled TCP send/recv must add zero steady-state frame allocations"
+        );
+        assert!(hits_delta > 0, "pooled path should actually exercise the pool");
+    }
+
+    let mut json = Json::new();
+    json.field("bench", "\"bench_transport\"".to_string());
+    json.field("smoke", smoke.to_string());
+    json.field(
+        "shape",
+        obj(&[
+            ("pingpong_iters", pp_iters.to_string()),
+            ("stream_frames", stream_frames.to_string()),
+            ("channels", "1".to_string()),
+        ]),
+    );
+    json.field("ladder", format!("[{}]", rows.join(", ")));
+    json.field(
+        "tcp_steady_state",
+        obj(&[
+            ("roundtrips", "200".to_string()),
+            ("payload_bytes", alloc_size.to_string()),
+            ("frame_allocations", alloc_delta.to_string()),
+            ("pool_hits", hits_delta.to_string()),
+        ]),
+    );
+    // Paper §4.1, Table: 1 KiB one-way latency per communicator (µs).
+    json.field(
+        "paper_reference_us",
+        obj(&[
+            ("scalable_communicator", "73".to_string()),
+            ("block_manager", "3861".to_string()),
+            ("mpi", "16".to_string()),
+        ]),
+    );
+    let body = json.finish();
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/bench_transport.json", &body).expect("write results json");
+    std::fs::write("BENCH_6.json", &body).expect("write BENCH_6.json");
+    println!("wrote results/bench_transport.json and BENCH_6.json");
+}

@@ -40,6 +40,7 @@ pub mod cost;
 pub mod dataset;
 pub mod history;
 pub mod metrics;
+pub mod multiproc;
 pub mod objects;
 pub mod ops;
 pub mod rdd;

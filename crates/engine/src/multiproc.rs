@@ -1,0 +1,894 @@
+//! Multi-process split aggregation: the SPMD driver/executor protocol that
+//! runs the full collective stack across OS processes over real TCP.
+//!
+//! The in-process engine ([`crate::cluster`]) models executors as threads;
+//! this module is the production-shaped variant the paper actually ships:
+//! every executor is its own process, joined to the driver through
+//! [`sparker_net::tcp::rendezvous`], with two planes of traffic:
+//!
+//! * **control plane** — the blocking driver↔executor socket from
+//!   rendezvous. The driver dispatches [`DriverMsg::Run`] jobs carrying a
+//!   full [`JobSpec`]; executors answer [`ExecMsg::JobOk`] (their owned,
+//!   fully-reduced segments) or [`ExecMsg::JobErr`].
+//! * **data plane** — the [`sparker_net::tcp::TcpTransport`] peer mesh,
+//!   where the chunk-pipelined ring reduce-scatter runs, epoch-fenced
+//!   exactly as in-process ([`sparker_collectives::RingComm`]).
+//!
+//! # Recovery semantics (mirroring `ops::split_aggregate`)
+//!
+//! Partition data is a *pure function* of `(seed, part)` — the multi-process
+//! equivalent of RDD lineage: any executor can recompute any partition. On a
+//! transient job failure (an executor reports [`ExecMsg::JobErr`]) the
+//! driver retries the whole gang with a bumped `attempt`; stale frames from
+//! the failed attempt are rejected by the receivers' epoch fence — over real
+//! sockets this is load-bearing, not simulated. When an executor *dies*
+//! (its control socket drops, or peers see [`sparker_net::NetError::Disconnected`]
+//! on the mesh), the ring is unusable, so the driver degrades to the tree
+//! fallback: survivors recompute the dead executor's partitions from lineage
+//! and ship whole aggregators up the control plane, which the driver merges
+//! pairwise — slower, but exact. Fault injection for both paths is built
+//! into [`JobSpec`] (`fail_rank`, `die_rank`) so `launch_cluster` can prove
+//! them against genuinely killed processes.
+//!
+//! All job values are integer-valued `f64`s, so sums are exact in any merge
+//! order and every path (ring, fallback, driver-side [`oracle`]) must agree
+//! **bit-for-bit** — the acceptance check is exact equality, not tolerance.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sparker_collectives::ring::ring_reduce_scatter_chunked_by;
+use sparker_collectives::RingComm;
+use sparker_net::codec::{Decoder, Encoder, F64Array, Payload};
+use sparker_net::error::{NetError, NetResult};
+use sparker_net::tcp::rendezvous::{self, ControlConn, Joined};
+use sparker_net::topology::{ExecutorId, ExecutorInfo, RingOrder, RingTopology};
+use sparker_net::transport::Transport;
+use sparker_net::ByteBuf;
+use sparker_sparse::DenseOrSparse;
+
+/// Exit code of an executor killed by `die_rank` fault injection, so the
+/// launcher can tell an injected death from a crash.
+pub const KILLED_EXIT_CODE: i32 = 13;
+
+/// Sentinel for "no rank" in the fault-injection fields.
+pub const NO_RANK: u32 = u32::MAX;
+
+/// One split-aggregate job, shipped whole to every executor.
+///
+/// Data is defined by `(seed, dim, density, total_parts)` through
+/// [`part_vector`]; `assigned[rank]` lists the partitions each rank
+/// aggregates locally before the ring runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Collective op id — the `op` half of the epoch fence.
+    pub id: u64,
+    /// Reduce [`DenseOrSparse`] segments instead of dense [`F64Array`]s.
+    pub sparse: bool,
+    /// Density threshold for the adaptive segments (sparse jobs).
+    pub threshold: f64,
+    /// Seed defining the dataset.
+    pub seed: u64,
+    /// Aggregator length.
+    pub dim: usize,
+    /// Fraction of `dim` touched per partition (1.0 = dense).
+    pub density: f64,
+    /// Number of partitions in the dataset.
+    pub total_parts: usize,
+    /// Ring channels (the paper's parallelism `P`).
+    pub parallelism: usize,
+    /// Pipeline chunks per ring slot (`C`).
+    pub chunks: usize,
+    /// Gang attempt — the `attempt` half of the epoch fence.
+    pub attempt: u32,
+    /// Per-receive deadline inside the ring, so a lost peer turns into a
+    /// typed error instead of a hang.
+    pub recv_deadline_ms: u64,
+    /// Fault injection: this rank reports failure on attempt 0 after
+    /// spraying stale frames ([`NO_RANK`] = off).
+    pub fail_rank: u32,
+    /// Fault injection: this rank exits mid-ring on attempt 0
+    /// ([`NO_RANK`] = off).
+    pub die_rank: u32,
+    /// Partitions per rank, indexed by rank.
+    pub assigned: Vec<Vec<u64>>,
+}
+
+impl JobSpec {
+    /// A dense job over `n` executors with sane defaults; tune fields after.
+    pub fn dense(id: u64, seed: u64, dim: usize, total_parts: usize) -> Self {
+        Self {
+            id,
+            sparse: false,
+            threshold: 0.25,
+            seed,
+            dim,
+            density: 1.0,
+            total_parts,
+            parallelism: 2,
+            chunks: 2,
+            attempt: 0,
+            recv_deadline_ms: 2_000,
+            fail_rank: NO_RANK,
+            die_rank: NO_RANK,
+            assigned: Vec::new(),
+        }
+    }
+
+    /// A sparse variant of [`JobSpec::dense`].
+    pub fn sparse(id: u64, seed: u64, dim: usize, total_parts: usize, density: f64) -> Self {
+        let mut s = Self::dense(id, seed, dim, total_parts);
+        s.sparse = true;
+        s.density = density;
+        s
+    }
+}
+
+impl Payload for JobSpec {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.id);
+        enc.put_bool(self.sparse);
+        enc.put_f64(self.threshold);
+        enc.put_u64(self.seed);
+        enc.put_usize(self.dim);
+        enc.put_f64(self.density);
+        enc.put_usize(self.total_parts);
+        enc.put_usize(self.parallelism);
+        enc.put_usize(self.chunks);
+        enc.put_u32(self.attempt);
+        enc.put_u64(self.recv_deadline_ms);
+        enc.put_u32(self.fail_rank);
+        enc.put_u32(self.die_rank);
+        enc.put_usize(self.assigned.len());
+        for parts in &self.assigned {
+            enc.put_u64_slice(parts);
+        }
+    }
+
+    fn decode_from(dec: &mut Decoder) -> NetResult<Self> {
+        let id = dec.get_u64()?;
+        let sparse = dec.get_bool()?;
+        let threshold = dec.get_f64()?;
+        let seed = dec.get_u64()?;
+        let dim = dec.get_usize()?;
+        let density = dec.get_f64()?;
+        let total_parts = dec.get_usize()?;
+        let parallelism = dec.get_usize()?;
+        let chunks = dec.get_usize()?;
+        let attempt = dec.get_u32()?;
+        let recv_deadline_ms = dec.get_u64()?;
+        let fail_rank = dec.get_u32()?;
+        let die_rank = dec.get_u32()?;
+        let n = dec.get_usize()?;
+        let mut assigned = Vec::with_capacity(n);
+        for _ in 0..n {
+            assigned.push(dec.get_u64_vec()?);
+        }
+        Ok(Self {
+            id,
+            sparse,
+            threshold,
+            seed,
+            dim,
+            density,
+            total_parts,
+            parallelism,
+            chunks,
+            attempt,
+            recv_deadline_ms,
+            fail_rank,
+            die_rank,
+            assigned,
+        })
+    }
+
+    fn size_hint(&self) -> usize {
+        85 + 8 + self.assigned.iter().map(|p| 8 + 8 * p.len()).sum::<usize>()
+    }
+}
+
+/// Driver → executor control messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverMsg {
+    /// Run a split-aggregate job (ring over the data plane).
+    Run(JobSpec),
+    /// Tree fallback: recompute `parts` from lineage, ship the whole local
+    /// aggregator up the control plane.
+    Fallback {
+        /// Job id the fallback belongs to.
+        id: u64,
+        /// The spec the aggregator is computed under (dataset definition).
+        spec: JobSpec,
+        /// Partitions this executor must cover.
+        parts: Vec<u64>,
+    },
+    /// Clean shutdown of the executor process.
+    Shutdown,
+}
+
+const TAG_RUN: u8 = 1;
+const TAG_FALLBACK: u8 = 2;
+const TAG_SHUTDOWN: u8 = 3;
+
+impl Payload for DriverMsg {
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            DriverMsg::Run(spec) => {
+                enc.put_u8(TAG_RUN);
+                spec.encode_into(enc);
+            }
+            DriverMsg::Fallback { id, spec, parts } => {
+                enc.put_u8(TAG_FALLBACK);
+                enc.put_u64(*id);
+                spec.encode_into(enc);
+                enc.put_u64_slice(parts);
+            }
+            DriverMsg::Shutdown => enc.put_u8(TAG_SHUTDOWN),
+        }
+    }
+
+    fn decode_from(dec: &mut Decoder) -> NetResult<Self> {
+        match dec.get_u8()? {
+            TAG_RUN => Ok(DriverMsg::Run(JobSpec::decode_from(dec)?)),
+            TAG_FALLBACK => Ok(DriverMsg::Fallback {
+                id: dec.get_u64()?,
+                spec: JobSpec::decode_from(dec)?,
+                parts: dec.get_u64_vec()?,
+            }),
+            TAG_SHUTDOWN => Ok(DriverMsg::Shutdown),
+            tag => Err(NetError::Codec(format!("invalid DriverMsg tag {tag}"))),
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            DriverMsg::Run(spec) => 1 + spec.size_hint(),
+            DriverMsg::Fallback { spec, parts, .. } => 1 + 8 + spec.size_hint() + 8 + 8 * parts.len(),
+            DriverMsg::Shutdown => 1,
+        }
+    }
+}
+
+/// Executor → driver control messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecMsg {
+    /// Ring completed: the `(global index, encoded segment)` pairs this rank
+    /// owns — the gather half of split aggregation.
+    JobOk {
+        /// Job id.
+        id: u64,
+        /// Owned segments, encoded as the job's segment type.
+        segments: Vec<(u64, ByteBuf)>,
+    },
+    /// The job failed on this rank (transport error or injected).
+    JobErr {
+        /// Job id.
+        id: u64,
+        /// Human-readable cause (a [`NetError`] rendering).
+        error: String,
+    },
+    /// Fallback aggregator covering the assigned partitions.
+    FallbackOk {
+        /// Job id.
+        id: u64,
+        /// The full local aggregator.
+        agg: Vec<f64>,
+    },
+}
+
+const TAG_JOB_OK: u8 = 1;
+const TAG_JOB_ERR: u8 = 2;
+const TAG_FALLBACK_OK: u8 = 3;
+
+impl Payload for ExecMsg {
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            ExecMsg::JobOk { id, segments } => {
+                enc.put_u8(TAG_JOB_OK);
+                enc.put_u64(*id);
+                enc.put_usize(segments.len());
+                for (index, bytes) in segments {
+                    enc.put_u64(*index);
+                    enc.put_bytes(bytes);
+                }
+            }
+            ExecMsg::JobErr { id, error } => {
+                enc.put_u8(TAG_JOB_ERR);
+                enc.put_u64(*id);
+                enc.put_str(error);
+            }
+            ExecMsg::FallbackOk { id, agg } => {
+                enc.put_u8(TAG_FALLBACK_OK);
+                enc.put_u64(*id);
+                enc.put_f64_slice(agg);
+            }
+        }
+    }
+
+    fn decode_from(dec: &mut Decoder) -> NetResult<Self> {
+        match dec.get_u8()? {
+            TAG_JOB_OK => {
+                let id = dec.get_u64()?;
+                let count = dec.get_usize()?;
+                let mut segments = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let index = dec.get_u64()?;
+                    let bytes = dec.get_bytes()?;
+                    segments.push((index, bytes));
+                }
+                Ok(ExecMsg::JobOk { id, segments })
+            }
+            TAG_JOB_ERR => Ok(ExecMsg::JobErr { id: dec.get_u64()?, error: dec.get_string()? }),
+            TAG_FALLBACK_OK => {
+                Ok(ExecMsg::FallbackOk { id: dec.get_u64()?, agg: dec.get_f64_vec()? })
+            }
+            tag => Err(NetError::Codec(format!("invalid ExecMsg tag {tag}"))),
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            ExecMsg::JobOk { segments, .. } => {
+                1 + 8 + 8 + segments.iter().map(|(_, b)| 8 + 8 + b.len()).sum::<usize>()
+            }
+            ExecMsg::JobErr { error, .. } => 1 + 8 + 8 + error.len(),
+            ExecMsg::FallbackOk { agg, .. } => 1 + 8 + 8 + 8 * agg.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic dataset: partitions as pure functions of (seed, part).
+// ---------------------------------------------------------------------------
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The vector contributed by partition `part` — deterministic, so any
+/// executor can recompute any partition (the lineage property fallback
+/// recovery rests on). Values are small integers: `f64` sums of integers
+/// this size are exact in every association order, which is what makes
+/// "bit-exact across ring, tree, and oracle" a meaningful acceptance check.
+pub fn part_vector(seed: u64, part: u64, dim: usize, density: f64) -> Vec<f64> {
+    let mut v = vec![0.0; dim];
+    if dim == 0 {
+        return v;
+    }
+    let nnz = (((dim as f64) * density).ceil() as usize).clamp(1, dim.max(1));
+    let base = splitmix64(seed ^ splitmix64(part.wrapping_add(1)));
+    for k in 0..nnz {
+        let h = splitmix64(base.wrapping_add(k as u64));
+        let idx = (h % dim as u64) as usize;
+        let val = ((h >> 32) % 512) as f64 + 1.0;
+        v[idx] += val;
+    }
+    v
+}
+
+/// Driver-side expected value: the sum of every partition vector.
+pub fn oracle(spec: &JobSpec) -> Vec<f64> {
+    let mut out = vec![0.0; spec.dim];
+    for part in 0..spec.total_parts as u64 {
+        for (o, x) in out.iter_mut().zip(part_vector(spec.seed, part, spec.dim, spec.density)) {
+            *o += x;
+        }
+    }
+    out
+}
+
+fn local_aggregate(spec: &JobSpec, parts: &[u64]) -> Vec<f64> {
+    let mut agg = vec![0.0; spec.dim];
+    for &part in parts {
+        for (a, x) in agg.iter_mut().zip(part_vector(spec.seed, part, spec.dim, spec.density)) {
+            *a += x;
+        }
+    }
+    agg
+}
+
+/// Splits `agg` into `count` contiguous segments of ceil(dim/count) (the
+/// tail may be shorter or empty). Same layout on every rank and the driver.
+fn split_segments(agg: &[f64], count: usize) -> Vec<Vec<f64>> {
+    let seg_len = segment_len(agg.len(), count);
+    (0..count)
+        .map(|i| {
+            let lo = (i * seg_len).min(agg.len());
+            let hi = ((i + 1) * seg_len).min(agg.len());
+            agg[lo..hi].to_vec()
+        })
+        .collect()
+}
+
+fn segment_len(dim: usize, count: usize) -> usize {
+    dim.div_ceil(count.max(1))
+}
+
+fn mesh_infos(n: usize) -> Vec<ExecutorInfo> {
+    (0..n)
+        .map(|i| ExecutorInfo {
+            id: ExecutorId(i as u32),
+            host: format!("proc-{i:03}"),
+            node: i,
+            cores: 1,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Executor side
+// ---------------------------------------------------------------------------
+
+/// Joins the cluster at `driver_addr` and serves jobs until the driver sends
+/// [`DriverMsg::Shutdown`] (or hangs up). The executor-process main loop.
+pub fn run_executor(driver_addr: &str, join_timeout: Duration) -> NetResult<()> {
+    let joined = rendezvous::join(driver_addr, join_timeout)?;
+    serve(joined)
+}
+
+/// Serves jobs on an already-joined membership (exposed so tests can run
+/// executors as threads).
+pub fn serve(mut joined: Joined) -> NetResult<()> {
+    loop {
+        let payload = match joined.control.recv(Duration::from_secs(600)) {
+            Ok(p) => p,
+            Err(NetError::Timeout) => continue,
+            // Driver gone: nothing left to serve.
+            Err(NetError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match DriverMsg::from_frame(payload)? {
+            DriverMsg::Run(spec) => {
+                let reply = run_job(&joined, &spec);
+                joined.control.send(&reply.to_frame())?;
+            }
+            DriverMsg::Fallback { id, spec, parts } => {
+                let agg = local_aggregate(&spec, &parts);
+                joined.control.send(&ExecMsg::FallbackOk { id, agg }.to_frame())?;
+            }
+            DriverMsg::Shutdown => return Ok(()),
+        }
+    }
+}
+
+fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
+    let rank = joined.rank;
+    let n = joined.n;
+    if spec.assigned.len() != n || spec.parallelism > joined.channels {
+        return ExecMsg::JobErr {
+            id: spec.id,
+            error: format!(
+                "spec shape mismatch: {} assignments for {n} ranks, P={} over {} channels",
+                spec.assigned.len(),
+                spec.parallelism,
+                joined.channels
+            ),
+        };
+    }
+    let agg = local_aggregate(spec, &spec.assigned[rank]);
+
+    let ring = Arc::new(RingTopology::new(mesh_infos(n), RingOrder::ById, spec.parallelism));
+    let net: Arc<dyn Transport> = joined.transport.clone();
+    let comm = RingComm::new(net, ring, rank)
+        .with_epoch(spec.id, spec.attempt)
+        .with_recv_deadline(Duration::from_millis(spec.recv_deadline_ms));
+
+    // Injected transient failure: leave well-formed frames of this (doomed)
+    // attempt on the wire, then report failure. The retry proves the epoch
+    // fence rejects them across real sockets.
+    if spec.attempt == 0 && spec.fail_rank == rank as u32 {
+        for ch in 0..spec.parallelism {
+            let _ = comm.send_next(ch, ByteBuf::from_static(b"stale attempt-0 frame"));
+        }
+        return ExecMsg::JobErr { id: spec.id, error: "injected failure (fail_rank)".into() };
+    }
+    // Injected death: first frame goes out, then the process vanishes
+    // mid-collective. Peers must observe Disconnected, not a hang.
+    if spec.attempt == 0 && spec.die_rank == rank as u32 {
+        let _ = comm.send_next(0, ByteBuf::from_static(b"dying mid-ring"));
+        std::process::exit(KILLED_EXIT_CODE);
+    }
+
+    let seg_count = spec.parallelism * n * spec.chunks;
+    let result: NetResult<Vec<(u64, ByteBuf)>> = if spec.sparse {
+        let segs: Vec<DenseOrSparse> = split_segments(&agg, seg_count)
+            .into_iter()
+            .map(|v| DenseOrSparse::from_dense(v, spec.threshold))
+            .collect();
+        ring_reduce_scatter_chunked_by(
+            &comm,
+            segs,
+            &|a: &mut DenseOrSparse, b: DenseOrSparse| a.merge(&b),
+            spec.chunks,
+        )
+        .map(|owned| {
+            owned.into_iter().map(|o| (o.index as u64, o.segment.to_frame())).collect()
+        })
+    } else {
+        let segs: Vec<F64Array> =
+            split_segments(&agg, seg_count).into_iter().map(F64Array).collect();
+        ring_reduce_scatter_chunked_by(
+            &comm,
+            segs,
+            &|a: &mut F64Array, b: F64Array| {
+                debug_assert_eq!(a.0.len(), b.0.len());
+                for (x, y) in a.0.iter_mut().zip(b.0) {
+                    *x += y;
+                }
+            },
+            spec.chunks,
+        )
+        .map(|owned| {
+            owned.into_iter().map(|o| (o.index as u64, o.segment.to_frame())).collect()
+        })
+    };
+
+    match result {
+        Ok(segments) => ExecMsg::JobOk { id: spec.id, segments },
+        Err(e) => ExecMsg::JobErr { id: spec.id, error: e.to_string() },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver side
+// ---------------------------------------------------------------------------
+
+/// Result of one driver-orchestrated job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The aggregated vector (length `dim`).
+    pub value: Vec<f64>,
+    /// Gang attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Whether the tree fallback produced the result.
+    pub used_fallback: bool,
+    /// Owned segments gathered over the control plane (ring path only).
+    pub wire_segments: usize,
+    /// Encoded segment bytes gathered from executors (ring path only).
+    pub result_bytes: u64,
+}
+
+/// The multi-process driver: owns the control connections, dispatches jobs,
+/// decides between gang retry and tree fallback.
+pub struct MultiProcDriver {
+    controls: Vec<Option<ControlConn>>,
+    /// Gang attempts before giving up on the ring path.
+    pub max_attempts: u32,
+    /// How long to wait for each executor's reply to a job.
+    pub reply_timeout: Duration,
+}
+
+impl MultiProcDriver {
+    /// Wraps the control connections returned by
+    /// [`rendezvous::Coordinator::wait_for`].
+    pub fn new(controls: Vec<ControlConn>) -> Self {
+        Self {
+            controls: controls.into_iter().map(Some).collect(),
+            max_attempts: 4,
+            reply_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Total executors the cluster started with.
+    pub fn size(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Ranks whose control connection is still alive.
+    pub fn alive(&self) -> Vec<usize> {
+        (0..self.controls.len()).filter(|&r| self.controls[r].is_some()).collect()
+    }
+
+    fn send_to(&mut self, rank: usize, msg: &DriverMsg) {
+        let failed = match &mut self.controls[rank] {
+            Some(conn) => conn.send(&msg.to_frame()).is_err(),
+            None => false,
+        };
+        if failed {
+            self.controls[rank] = None;
+        }
+    }
+
+    fn recv_from(&mut self, rank: usize) -> Option<ExecMsg> {
+        let timeout = self.reply_timeout;
+        let result = match &mut self.controls[rank] {
+            Some(conn) => match conn.recv(timeout) {
+                Ok(payload) => ExecMsg::from_frame(payload).ok(),
+                Err(_) => None,
+            },
+            None => return None,
+        };
+        if result.is_none() {
+            // Timeout, disconnect, or garbage: this control link is done.
+            self.controls[rank] = None;
+        }
+        result
+    }
+
+    /// Runs one job to completion: gang attempts over the ring while every
+    /// executor lives, tree fallback once one has died. `Err` only when no
+    /// exact result can be produced at all.
+    pub fn run_job(&mut self, base: &JobSpec) -> Result<JobOutcome, String> {
+        let n = self.size();
+        let mut attempts = 0;
+        while attempts < self.max_attempts && self.alive().len() == n {
+            let mut spec = base.clone();
+            spec.attempt = attempts;
+            spec.assigned = assign_parts(base.total_parts, &(0..n).collect::<Vec<_>>(), n);
+            attempts += 1;
+            for rank in 0..n {
+                self.send_to(rank, &DriverMsg::Run(spec.clone()));
+            }
+            let mut oks: Vec<Vec<(u64, ByteBuf)>> = Vec::new();
+            for rank in 0..n {
+                match self.recv_from(rank) {
+                    Some(ExecMsg::JobOk { id, segments }) if id == spec.id => oks.push(segments),
+                    Some(_) | None => {}
+                }
+            }
+            if oks.len() == n {
+                let (value, wire_segments, result_bytes) = assemble(base, n, oks)?;
+                return Ok(JobOutcome {
+                    value,
+                    attempts,
+                    used_fallback: false,
+                    wire_segments,
+                    result_bytes,
+                });
+            }
+        }
+
+        // Tree fallback: survivors recompute everything from lineage.
+        let survivors = self.alive();
+        if survivors.is_empty() {
+            return Err(format!("job {}: no executors left for fallback", base.id));
+        }
+        let assigned = assign_parts(base.total_parts, &survivors, self.size());
+        for &rank in &survivors {
+            self.send_to(
+                rank,
+                &DriverMsg::Fallback {
+                    id: base.id,
+                    spec: base.clone(),
+                    parts: assigned[rank].clone(),
+                },
+            );
+        }
+        let mut aggs = Vec::with_capacity(survivors.len());
+        for &rank in &survivors {
+            match self.recv_from(rank) {
+                Some(ExecMsg::FallbackOk { id, agg }) if id == base.id && agg.len() == base.dim => {
+                    aggs.push(agg);
+                }
+                other => {
+                    return Err(format!(
+                        "job {}: fallback reply from rank {rank} was {other:?}",
+                        base.id
+                    ));
+                }
+            }
+        }
+        Ok(JobOutcome {
+            value: tree_merge(aggs),
+            attempts: attempts + 1,
+            used_fallback: true,
+            wire_segments: 0,
+            result_bytes: 0,
+        })
+    }
+
+    /// Sends a clean shutdown to every surviving executor.
+    pub fn shutdown(&mut self) {
+        for rank in 0..self.size() {
+            self.send_to(rank, &DriverMsg::Shutdown);
+        }
+    }
+}
+
+/// Round-robins partitions over `ranks`, returning a per-rank (of `n_total`)
+/// assignment; ranks not listed get no partitions.
+fn assign_parts(total_parts: usize, ranks: &[usize], n_total: usize) -> Vec<Vec<u64>> {
+    let mut assigned = vec![Vec::new(); n_total];
+    for part in 0..total_parts as u64 {
+        let rank = ranks[(part as usize) % ranks.len()];
+        assigned[rank].push(part);
+    }
+    assigned
+}
+
+/// Reassembles gathered segments into the full vector, checking that every
+/// global index arrived exactly once.
+fn assemble(
+    spec: &JobSpec,
+    n: usize,
+    replies: Vec<Vec<(u64, ByteBuf)>>,
+) -> Result<(Vec<f64>, usize, u64), String> {
+    let seg_count = spec.parallelism * n * spec.chunks;
+    let seg_len = segment_len(spec.dim, seg_count);
+    let mut value = vec![0.0; spec.dim];
+    let mut seen = vec![false; seg_count];
+    let mut wire_segments = 0usize;
+    let mut result_bytes = 0u64;
+    for segments in replies {
+        for (index, bytes) in segments {
+            let index = index as usize;
+            if index >= seg_count || seen[index] {
+                return Err(format!(
+                    "job {}: segment {index} out of range or duplicated",
+                    spec.id
+                ));
+            }
+            seen[index] = true;
+            wire_segments += 1;
+            result_bytes += bytes.len() as u64;
+            let dense = if spec.sparse {
+                DenseOrSparse::from_frame(bytes).map_err(|e| e.to_string())?.into_dense()
+            } else {
+                F64Array::from_frame(bytes).map_err(|e| e.to_string())?.0
+            };
+            let lo = (index * seg_len).min(spec.dim);
+            let hi = (lo + dense.len()).min(spec.dim);
+            if hi - lo != dense.len() {
+                return Err(format!(
+                    "job {}: segment {index} length {} overflows dim {}",
+                    spec.id,
+                    dense.len(),
+                    spec.dim
+                ));
+            }
+            value[lo..hi].copy_from_slice(&dense);
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(format!("job {}: segment {missing} never arrived", spec.id));
+    }
+    Ok((value, wire_segments, result_bytes))
+}
+
+/// Pairwise (log-depth) merge of whole aggregators — the tree the fallback
+/// path degrades to.
+fn tree_merge(mut aggs: Vec<Vec<f64>>) -> Vec<f64> {
+    while aggs.len() > 1 {
+        let mut next = Vec::with_capacity(aggs.len().div_ceil(2));
+        let mut it = aggs.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            next.push(a);
+        }
+        aggs = next;
+    }
+    aggs.pop().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_net::tcp::rendezvous::Coordinator;
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Spins up a driver plus `n` executor threads joined over real loopback
+    /// TCP, runs `jobs` through them, and returns the outcomes.
+    fn run_cluster(n: usize, channels: usize, jobs: Vec<JobSpec>) -> Vec<JobOutcome> {
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap().to_string();
+        let mut execs = Vec::new();
+        for _ in 0..n {
+            let addr = addr.clone();
+            execs.push(std::thread::spawn(move || {
+                run_executor(&addr, Duration::from_secs(20)).unwrap();
+            }));
+        }
+        let controls = coordinator.wait_for(n, channels, Duration::from_secs(20)).unwrap();
+        let mut driver = MultiProcDriver::new(controls);
+        driver.reply_timeout = Duration::from_secs(30);
+        let outcomes: Vec<JobOutcome> =
+            jobs.iter().map(|j| driver.run_job(j).unwrap()).collect();
+        driver.shutdown();
+        for e in execs {
+            e.join().unwrap();
+        }
+        outcomes
+    }
+
+    #[test]
+    fn dense_job_is_bit_exact() {
+        let spec = JobSpec::dense(11, 0xD5EED, 4096, 9);
+        let outcomes = run_cluster(3, 2, vec![spec.clone()]);
+        let o = &outcomes[0];
+        assert_eq!(o.attempts, 1);
+        assert!(!o.used_fallback);
+        assert_eq!(o.wire_segments, 2 * 3 * 2);
+        assert_eq!(bits(&o.value), bits(&oracle(&spec)));
+    }
+
+    #[test]
+    fn sparse_job_is_bit_exact_and_cheaper_on_the_wire() {
+        let dim = 8192;
+        let sparse = JobSpec::sparse(21, 0x5EED5, dim, 9, 0.01);
+        let mut dense = sparse.clone();
+        dense.id = 22;
+        dense.sparse = false;
+        let outcomes = run_cluster(3, 2, vec![sparse.clone(), dense]);
+        assert_eq!(bits(&outcomes[0].value), bits(&oracle(&sparse)));
+        assert_eq!(bits(&outcomes[1].value), bits(&outcomes[0].value));
+        assert!(
+            outcomes[0].result_bytes * 3 < outcomes[1].result_bytes,
+            "sparse gather ({} B) should be well under dense ({} B)",
+            outcomes[0].result_bytes,
+            outcomes[1].result_bytes
+        );
+    }
+
+    #[test]
+    fn injected_failure_retries_and_fences_stale_frames() {
+        let mut spec = JobSpec::dense(31, 0xFA11, 2048, 6);
+        spec.fail_rank = 1;
+        spec.recv_deadline_ms = 700;
+        let outcomes = run_cluster(3, 2, vec![spec.clone()]);
+        let o = &outcomes[0];
+        assert_eq!(o.attempts, 2, "attempt 0 must fail, attempt 1 succeed");
+        assert!(!o.used_fallback);
+        assert_eq!(bits(&o.value), bits(&oracle(&spec)));
+    }
+
+    #[test]
+    fn payloads_roundtrip() {
+        let spec = JobSpec::sparse(7, 9, 100, 4, 0.5);
+        let mut with_assign = spec.clone();
+        with_assign.assigned = vec![vec![0, 3], vec![1], vec![2]];
+        for msg in [
+            DriverMsg::Run(with_assign.clone()),
+            DriverMsg::Fallback { id: 7, spec: with_assign, parts: vec![0, 1, 2, 3] },
+            DriverMsg::Shutdown,
+        ] {
+            let back = DriverMsg::from_frame(msg.to_frame()).unwrap();
+            assert_eq!(back, msg);
+        }
+        for msg in [
+            ExecMsg::JobOk {
+                id: 1,
+                segments: vec![(0, ByteBuf::from_static(b"seg0")), (5, ByteBuf::new())],
+            },
+            ExecMsg::JobErr { id: 2, error: "peer disconnected".into() },
+            ExecMsg::FallbackOk { id: 3, agg: vec![1.0, 2.0, 3.0] },
+        ] {
+            let frame = msg.to_frame();
+            assert_eq!(frame.len(), msg.size_hint(), "size_hint must be exact");
+            let back = ExecMsg::from_frame(frame).unwrap();
+            match (&back, &msg) {
+                (ExecMsg::JobOk { id: a, segments: sa }, ExecMsg::JobOk { id: b, segments: sb }) => {
+                    assert_eq!(a, b);
+                    assert_eq!(sa.len(), sb.len());
+                    for ((ia, ba), (ib, bb)) in sa.iter().zip(sb) {
+                        assert_eq!(ia, ib);
+                        assert_eq!(&ba[..], &bb[..]);
+                    }
+                }
+                _ => assert_eq!(back, msg),
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_manual_sum() {
+        let spec = JobSpec::dense(1, 42, 64, 5);
+        let mut manual = vec![0.0; 64];
+        for p in 0..5 {
+            for (m, x) in manual.iter_mut().zip(part_vector(42, p, 64, 1.0)) {
+                *m += x;
+            }
+        }
+        assert_eq!(bits(&oracle(&spec)), bits(&manual));
+    }
+}

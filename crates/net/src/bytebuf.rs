@@ -47,6 +47,7 @@ impl ByteBuf {
         self.end - self.start
     }
 
+    /// True when the window contains no bytes.
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
@@ -124,18 +125,22 @@ impl ByteBuf {
         self.take_array::<1>("get_u8")[0]
     }
 
+    /// Consumes 4 bytes as a little-endian `u32`.
     pub fn get_u32_le(&mut self) -> u32 {
         u32::from_le_bytes(self.take_array("get_u32_le"))
     }
 
+    /// Consumes 8 bytes as a little-endian `u64`.
     pub fn get_u64_le(&mut self) -> u64 {
         u64::from_le_bytes(self.take_array("get_u64_le"))
     }
 
+    /// Consumes 8 bytes as a little-endian `i64`.
     pub fn get_i64_le(&mut self) -> i64 {
         i64::from_le_bytes(self.take_array("get_i64_le"))
     }
 
+    /// Consumes 8 bytes as a little-endian `f64`.
     pub fn get_f64_le(&mut self) -> f64 {
         f64::from_le_bytes(self.take_array("get_f64_le"))
     }
@@ -194,10 +199,12 @@ pub struct ByteBufMut {
 }
 
 impl ByteBufMut {
+    /// An empty encode buffer.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty encode buffer pre-sized for `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
         Self { buf: Vec::with_capacity(cap) }
     }
@@ -214,10 +221,12 @@ impl ByteBufMut {
         self.buf.capacity()
     }
 
+    /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
+    /// True when nothing has been written yet.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
@@ -228,26 +237,32 @@ impl ByteBufMut {
         ByteBuf::from(self.buf)
     }
 
+    /// Appends one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
+    /// Appends a `u32` in little-endian order.
     pub fn put_u32_le(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a `u64` in little-endian order.
     pub fn put_u64_le(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an `i64` in little-endian order.
     pub fn put_i64_le(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a `f64` in little-endian order.
     pub fn put_f64_le(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends raw bytes verbatim.
     pub fn put_slice(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }

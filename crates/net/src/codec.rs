@@ -62,26 +62,32 @@ impl Encoder {
         self.buf.freeze()
     }
 
+    /// Encodes one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.put_u8(v);
     }
 
+    /// Encodes a bool as one byte (0 or 1).
     pub fn put_bool(&mut self, v: bool) {
         self.buf.put_u8(v as u8);
     }
 
+    /// Encodes a `u32`, little-endian.
     pub fn put_u32(&mut self, v: u32) {
         self.buf.put_u32_le(v);
     }
 
+    /// Encodes a `u64`, little-endian.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.put_u64_le(v);
     }
 
+    /// Encodes an `i64`, little-endian.
     pub fn put_i64(&mut self, v: i64) {
         self.buf.put_i64_le(v);
     }
 
+    /// Encodes an `f64`, little-endian IEEE-754 bits.
     pub fn put_f64(&mut self, v: f64) {
         self.buf.put_f64_le(v);
     }
@@ -91,11 +97,13 @@ impl Encoder {
         self.buf.put_u64_le(v as u64);
     }
 
+    /// Encodes a length-prefixed byte slice.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_usize(v.len());
         self.buf.put_slice(v);
     }
 
+    /// Encodes a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
     }
@@ -195,46 +203,55 @@ impl Decoder {
         Ok(())
     }
 
+    /// Decodes one byte.
     pub fn get_u8(&mut self) -> NetResult<u8> {
         self.need(1, "u8")?;
         Ok(self.buf.get_u8())
     }
 
+    /// Decodes a bool (any non-zero byte is `true`).
     pub fn get_bool(&mut self) -> NetResult<bool> {
         Ok(self.get_u8()? != 0)
     }
 
+    /// Decodes a little-endian `u32`.
     pub fn get_u32(&mut self) -> NetResult<u32> {
         self.need(4, "u32")?;
         Ok(self.buf.get_u32_le())
     }
 
+    /// Decodes a little-endian `u64`.
     pub fn get_u64(&mut self) -> NetResult<u64> {
         self.need(8, "u64")?;
         Ok(self.buf.get_u64_le())
     }
 
+    /// Decodes a little-endian `i64`.
     pub fn get_i64(&mut self) -> NetResult<i64> {
         self.need(8, "i64")?;
         Ok(self.buf.get_i64_le())
     }
 
+    /// Decodes a little-endian `f64`.
     pub fn get_f64(&mut self) -> NetResult<f64> {
         self.need(8, "f64")?;
         Ok(self.buf.get_f64_le())
     }
 
+    /// Decodes a `u64` written by [`Encoder::put_usize`] back to `usize`.
     pub fn get_usize(&mut self) -> NetResult<usize> {
         let v = self.get_u64()?;
         usize::try_from(v).map_err(|_| NetError::Codec(format!("usize overflow: {v}")))
     }
 
+    /// Decodes a length-prefixed byte slice as a zero-copy sub-frame.
     pub fn get_bytes(&mut self) -> NetResult<ByteBuf> {
         let len = self.get_usize()?;
         self.need(len, "byte slice")?;
         Ok(self.buf.split_to(len))
     }
 
+    /// Decodes a length-prefixed UTF-8 string.
     pub fn get_string(&mut self) -> NetResult<String> {
         let raw = self.get_bytes()?;
         String::from_utf8(raw.to_vec()).map_err(|e| NetError::Codec(format!("invalid utf8: {e}")))

@@ -22,23 +22,13 @@ use crate::error::{NetError, NetResult};
 const MAGIC: u32 = 0x5350_4B31; // "SPK1"
 
 /// FNV-1a over the epoch fields and payload, the integrity check for
-/// collective frames.
+/// collective frames (see [`crate::hash`] for the hash's constants).
 fn checksum(op: u64, attempt: u32, payload: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut step = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    for b in op.to_le_bytes() {
-        step(b);
-    }
-    for b in attempt.to_le_bytes() {
-        step(b);
-    }
-    for &b in payload {
-        step(b);
-    }
-    h
+    let mut h = crate::hash::Fnv1a::new();
+    h.update(&op.to_le_bytes());
+    h.update(&attempt.to_le_bytes());
+    h.update(payload);
+    h.finish()
 }
 
 /// Wraps `payload` in an epoch header for collective transmission.

@@ -4,9 +4,12 @@ use std::fmt;
 
 /// Errors surfaced by transports and codecs.
 ///
-/// The substrate is in-process, so most classical network failures cannot
-/// happen; what remains is disconnection (an endpoint dropped while a peer
-/// still waits on it) and malformed frames at the codec boundary.
+/// The in-process transports surface disconnection (an endpoint dropped
+/// while a peer still waits on it) and malformed frames at the codec
+/// boundary; the TCP transport ([`crate::tcp`]) adds genuine operating-system
+/// socket failures via [`NetError::Io`]. The failure-semantics matrix —
+/// which wire-level event maps to which variant — is specified normatively
+/// in DESIGN.md §5g.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
     /// The peer endpoint hung up before (or while) the message was in flight.
@@ -20,6 +23,11 @@ pub enum NetError {
     Codec(String),
     /// An executor/rank/channel outside the configured mesh was addressed.
     InvalidAddress(String),
+    /// An operating-system socket operation failed (bind/connect/accept or a
+    /// read/write error that is not a clean disconnect). Carries the OS error
+    /// text; connection-terminating errors are mapped to
+    /// [`NetError::Disconnected`] instead.
+    Io(String),
 }
 
 impl fmt::Display for NetError {
@@ -30,6 +38,7 @@ impl fmt::Display for NetError {
             NetError::Cancelled => write!(f, "collective cancelled"),
             NetError::Codec(msg) => write!(f, "codec error: {msg}"),
             NetError::InvalidAddress(msg) => write!(f, "invalid address: {msg}"),
+            NetError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
@@ -55,6 +64,10 @@ mod tests {
         assert_eq!(
             NetError::InvalidAddress("rank 9 of 4".into()).to_string(),
             "invalid address: rank 9 of 4"
+        );
+        assert_eq!(
+            NetError::Io("connection refused".into()).to_string(),
+            "io error: connection refused"
         );
     }
 

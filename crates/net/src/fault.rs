@@ -48,6 +48,7 @@ pub struct NetFaultPlan {
 }
 
 impl NetFaultPlan {
+    /// An empty plan (injects nothing).
     pub fn new() -> Self {
         Self::default()
     }
@@ -118,6 +119,7 @@ pub struct FaultyTransport {
 }
 
 impl FaultyTransport {
+    /// Wraps `inner`, replaying `plan` against its traffic.
     pub fn new(inner: Arc<dyn Transport>, plan: NetFaultPlan) -> Arc<Self> {
         Arc::new(Self { inner, plan, state: Mutex::new(FaultState::default()) })
     }

@@ -48,8 +48,17 @@
 //! * [`topology`] — executor ranks, the parallel directed ring (PDR), and
 //!   topology-aware ordering (sort executors by hostname so that ring
 //!   neighbours land on the same node whenever possible).
+//! * [`hash`] — the streaming FNV-1a 64 hasher shared by the epoch and TCP
+//!   frame checksums.
+//! * [`tcp`] — the real-socket [`Transport`]: multi-process TCP over
+//!   length-prefixed `SPKT` frames ([`tcp::frame`], normative spec in
+//!   DESIGN.md §5g) with pooled zero-allocation send/receive, plus the
+//!   driver-rooted rendezvous that assembles the peer mesh
+//!   ([`tcp::rendezvous`]).
 //! * [`mod@bench`] — ping-pong latency and streaming throughput micro-benchmarks
 //!   used by the Figure 12/13 harnesses.
+
+#![warn(missing_docs)]
 
 pub mod bench;
 pub mod blockmanager;
@@ -58,9 +67,11 @@ pub mod codec;
 pub mod epoch;
 pub mod error;
 pub mod fault;
+pub mod hash;
 pub mod pool;
 pub mod profile;
 pub mod sync;
+pub mod tcp;
 pub mod time;
 pub mod topology;
 pub mod transport;
@@ -71,5 +82,6 @@ pub use error::NetError;
 pub use fault::{FaultyTransport, NetFaultPlan};
 pub use pool::{FramePool, PoolStats};
 pub use profile::{LinkProfile, NetProfile, TransportKind};
+pub use tcp::TcpTransport;
 pub use topology::{ExecutorId, ExecutorInfo, RingTopology};
 pub use transport::{MeshTransport, Transport};

@@ -99,6 +99,7 @@ impl FramePool {
         self.enabled.store(enabled, Ordering::Relaxed);
     }
 
+    /// Whether buffer reuse is currently on.
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
     }

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 pub struct Mutex<T>(std::sync::Mutex<T>);
 
 impl<T> Mutex<T> {
+    /// Wraps `value` in a new mutex.
     pub fn new(value: T) -> Self {
         Self(std::sync::Mutex::new(value))
     }
@@ -49,14 +50,17 @@ impl<T> Mutex<T> {
 pub struct RwLock<T>(std::sync::RwLock<T>);
 
 impl<T> RwLock<T> {
+    /// Wraps `value` in a new lock.
     pub fn new(value: T) -> Self {
         Self(std::sync::RwLock::new(value))
     }
 
+    /// Acquires a shared read guard, recovering from poisoning.
     pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
         self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquires the exclusive write guard, recovering from poisoning.
     pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
@@ -81,6 +85,7 @@ pub struct ReentrantMutex {
 }
 
 impl ReentrantMutex {
+    /// An unlocked reentrant mutex.
     pub fn new() -> Self {
         Self::default()
     }
@@ -149,7 +154,9 @@ pub struct RecvError;
 /// Outcome of a bounded-time receive.
 #[derive(Debug, PartialEq, Eq)]
 pub enum RecvTimeoutError {
+    /// The timeout elapsed with the queue still empty.
     Timeout,
+    /// All senders disconnected and the queue is drained.
     Disconnected,
 }
 
@@ -175,6 +182,7 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     (Sender { chan: chan.clone() }, Receiver { chan })
 }
 
+/// The sending half of [`channel`]; clone freely.
 pub struct Sender<T> {
     chan: Arc<Chan<T>>,
 }
@@ -212,6 +220,7 @@ impl<T> Drop for Sender<T> {
     }
 }
 
+/// The receiving half of [`channel`]; clone freely.
 pub struct Receiver<T> {
     chan: Arc<Chan<T>>,
 }

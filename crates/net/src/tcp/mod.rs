@@ -1,0 +1,737 @@
+//! Real multi-process transport: non-blocking TCP sockets under the same
+//! [`Transport`] trait the in-process mesh implements.
+//!
+//! The paper's core systems argument (§4) is that reduction needs a
+//! purpose-built communicator — its JeroMQ layer cuts small-message latency
+//! from the BlockManager's 3861 µs to 73 µs. This module is that layer for
+//! the reproduction: executors become OS processes, links become loopback
+//! (or LAN) TCP streams, and the collective stack above — [`crate::epoch`]
+//! fencing, the chunk-pipelined ring, sparse segments — runs unchanged
+//! because it only ever talks to the [`Transport`] trait.
+//!
+//! # Architecture
+//!
+//! One [`TcpTransport`] instance is bound to one local rank. It holds one
+//! socket per peer rank (all logical channels are multiplexed over that
+//! socket and demultiplexed by the frame header's `channel` field), plus a
+//! single background IO thread running a hand-rolled readiness loop over
+//! non-blocking sockets:
+//!
+//! * **send** — the caller encodes a wire frame ([`frame::encode_pooled`])
+//!   from the global [`crate::pool::FramePool`], enqueues it to the peer's
+//!   outbound queue, and wakes the IO thread. Sends never block on the
+//!   socket (matching the ZeroMQ model the paper adopts). The caller's
+//!   payload buffer is recycled immediately when sole-owned.
+//! * **IO thread** — drains outbound queues with partial-write tracking,
+//!   reads whatever bytes the kernel has into a per-connection
+//!   [`frame::FrameReader`], and routes decoded payloads to per-`(peer,
+//!   channel)` inboxes. Wire frames are recycled once fully written;
+//!   received payloads are pooled buffers, so the steady state allocates no
+//!   frames in either direction. When nothing progresses it parks for
+//!   [`IDLE_POLL`] (sends unpark it), keeping idle CPU near zero without a
+//!   platform poller — at loopback RTTs this costs a few tens of µs of
+//!   worst-case latency, which stays well inside the paper's
+//!   BlockManager-vs-SC gap that `bench_transport` reproduces.
+//! * **recv** — blocks on the inbox with a poll quantum so peer death is
+//!   observed even mid-wait: when a connection dies (clean EOF, reset, or a
+//!   codec-fatal frame) the transport marks the peer dead and every blocked
+//!   or future `recv` for it returns the stored error immediately —
+//!   already-delivered frames are still receivable first.
+//!
+//! `TCP_NODELAY` is set on every socket: the ring sends latency-critical
+//! small frames and handles its own batching (chunk pipelining), so Nagle
+//! coalescing would only add delay.
+//!
+//! Connection establishment (rank assignment, peer address exchange, mesh
+//! dialing) lives in [`rendezvous`]; the wire format in [`frame`].
+
+pub mod frame;
+pub mod rendezvous;
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::bytebuf::ByteBuf;
+use crate::error::{NetError, NetResult};
+use crate::pool;
+use crate::sync::{channel, Mutex, Receiver, RecvTimeoutError, Sender};
+use crate::topology::ExecutorId;
+use crate::transport::{NetStats, NetStatsSnapshot, Transport};
+
+use frame::io_to_net;
+
+/// How long the IO thread parks when no socket made progress. Sends unpark
+/// it, so this only bounds receive latency while the wire is silent.
+pub const IDLE_POLL: Duration = Duration::from_micros(50);
+
+/// Poll quantum for blocking receives: how often a waiting `recv` rechecks
+/// peer liveness.
+const RECV_QUANTUM: Duration = Duration::from_millis(5);
+
+/// Read buffer size for the IO thread (per loop iteration, shared across
+/// connections).
+const READ_CHUNK: usize = 256 * 1024;
+
+/// Upper bound on the outbound flush performed when a transport is dropped.
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Liveness of one peer connection, shared between the IO thread (writer)
+/// and receivers (readers).
+struct PeerStatus {
+    dead: AtomicBool,
+    err: Mutex<Option<NetError>>,
+}
+
+impl PeerStatus {
+    fn new() -> Self {
+        Self { dead: AtomicBool::new(false), err: Mutex::new(None) }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Records the first fatal error; later ones are ignored.
+    fn kill(&self, e: NetError) {
+        let mut slot = self.err.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        self.dead.store(true, Ordering::Release);
+    }
+
+    fn error(&self) -> NetError {
+        self.err.lock().clone().unwrap_or(NetError::Disconnected)
+    }
+}
+
+/// One live peer connection, owned by the IO thread.
+struct Conn {
+    peer: usize,
+    stream: TcpStream,
+    /// Frames queued by senders, pulled into `out` by the IO thread.
+    out_rx: Receiver<ByteBuf>,
+    /// In-progress writes: `(frame, bytes already written)`.
+    out: VecDeque<(ByteBuf, usize)>,
+    reader: frame::FrameReader,
+    status: Arc<PeerStatus>,
+}
+
+impl Conn {
+    fn die(&mut self, e: NetError) {
+        self.status.kill(e);
+        self.out.clear();
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A [`Transport`] over real TCP sockets, bound to one local rank.
+///
+/// Build one with [`TcpTransport::new`] from already-established sockets
+/// (see [`rendezvous::join`] for the full mesh handshake) or
+/// [`TcpTransport::pair_loopback`] for a two-rank loopback pair in tests and
+/// benches.
+///
+/// ```
+/// use sparker_net::tcp::TcpTransport;
+/// use sparker_net::transport::Transport;
+/// use sparker_net::{ByteBuf, ExecutorId};
+///
+/// let (a, b) = TcpTransport::pair_loopback(2).unwrap();
+/// a.send(ExecutorId(0), ExecutorId(1), 1, ByteBuf::from_static(b"over tcp")).unwrap();
+/// let got = b.recv(ExecutorId(1), ExecutorId(0), 1).unwrap();
+/// assert_eq!(&got[..], b"over tcp");
+/// ```
+pub struct TcpTransport {
+    me: usize,
+    n: usize,
+    channels: usize,
+    /// Inbox senders/receivers indexed `from * channels + channel`.
+    inbox_tx: Vec<Sender<ByteBuf>>,
+    inbox_rx: Vec<Receiver<ByteBuf>>,
+    /// Outbound queues per peer rank (`None` for self).
+    out_tx: Vec<Option<Sender<ByteBuf>>>,
+    /// Liveness per peer rank (the self entry is never dead).
+    peers: Vec<Arc<PeerStatus>>,
+    stats: NetStats,
+    shutdown: Arc<AtomicBool>,
+    io_thread: Mutex<Option<JoinHandle<()>>>,
+    io_waker: std::thread::Thread,
+}
+
+impl TcpTransport {
+    /// Wraps established sockets into a transport bound to rank `me` of `n`.
+    ///
+    /// `conns` must hold exactly one stream per peer rank (`n - 1` total);
+    /// the streams are switched to non-blocking and `TCP_NODELAY` here.
+    pub fn new(
+        me: usize,
+        n: usize,
+        channels: usize,
+        conns: Vec<(usize, TcpStream)>,
+    ) -> NetResult<Arc<Self>> {
+        if me >= n || channels == 0 {
+            return Err(NetError::InvalidAddress(format!(
+                "rank {me} of {n} with {channels} channels is not a valid binding"
+            )));
+        }
+        let mut seen = vec![false; n];
+        seen[me] = true;
+        for (peer, _) in &conns {
+            if *peer >= n || *peer == me || seen[*peer] {
+                return Err(NetError::InvalidAddress(format!(
+                    "connection for peer {peer} is out of range or duplicated (me={me}, n={n})"
+                )));
+            }
+            seen[*peer] = true;
+        }
+        if conns.len() != n - 1 {
+            return Err(NetError::InvalidAddress(format!(
+                "mesh for rank {me} needs {} peer connections, got {}",
+                n - 1,
+                conns.len()
+            )));
+        }
+
+        let mut inbox_tx = Vec::with_capacity(n * channels);
+        let mut inbox_rx = Vec::with_capacity(n * channels);
+        for _ in 0..n * channels {
+            let (tx, rx) = channel();
+            inbox_tx.push(tx);
+            inbox_rx.push(rx);
+        }
+        let peers: Vec<Arc<PeerStatus>> = (0..n).map(|_| Arc::new(PeerStatus::new())).collect();
+        let mut out_tx: Vec<Option<Sender<ByteBuf>>> = (0..n).map(|_| None).collect();
+        let mut io_conns = Vec::with_capacity(conns.len());
+        for (peer, stream) in conns {
+            stream.set_nonblocking(true).map_err(io_to_net)?;
+            stream.set_nodelay(true).map_err(io_to_net)?;
+            let (tx, rx) = channel();
+            out_tx[peer] = Some(tx);
+            io_conns.push(Conn {
+                peer,
+                stream,
+                out_rx: rx,
+                out: VecDeque::new(),
+                reader: frame::FrameReader::new(),
+                status: peers[peer].clone(),
+            });
+        }
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let io = IoLoop {
+            conns: io_conns,
+            inbox_tx: inbox_tx.clone(),
+            channels,
+            shutdown: shutdown.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("sparker-tcp-io-{me}"))
+            .spawn(move || io.run())
+            .map_err(|e| NetError::Io(format!("spawning io thread: {e}")))?;
+        let io_waker = handle.thread().clone();
+
+        Ok(Arc::new(Self {
+            me,
+            n,
+            channels,
+            inbox_tx,
+            inbox_rx,
+            out_tx,
+            peers,
+            stats: NetStats::default(),
+            shutdown,
+            io_thread: Mutex::new(Some(handle)),
+            io_waker,
+        }))
+    }
+
+    /// Builds a connected two-rank pair over a loopback socket — rank 0 and
+    /// rank 1 in separate transports sharing one real TCP connection. The
+    /// unit-test and benchmark entry point.
+    pub fn pair_loopback(channels: usize) -> NetResult<(Arc<Self>, Arc<Self>)> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(io_to_net)?;
+        let addr = listener.local_addr().map_err(io_to_net)?;
+        let dialed = TcpStream::connect(addr).map_err(io_to_net)?;
+        let (accepted, _) = listener.accept().map_err(io_to_net)?;
+        let a = Self::new(0, 2, channels, vec![(1, dialed)])?;
+        let b = Self::new(1, 2, channels, vec![(0, accepted)])?;
+        Ok((a, b))
+    }
+
+    /// The local rank this transport is bound to.
+    pub fn rank(&self) -> usize {
+        self.me
+    }
+
+    /// Snapshot of traffic counters (sends only, matching the mesh).
+    pub fn stats(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            messages: self.stats.messages.load(Ordering::Relaxed),
+            bytes: self.stats.bytes.load(Ordering::Relaxed),
+            inter_node_messages: self.stats.inter_node_messages.load(Ordering::Relaxed),
+            inter_node_bytes: self.stats.inter_node_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the connection to `peer` has died (EOF, reset, or fatal
+    /// decode error). Frames delivered before death remain receivable.
+    pub fn peer_is_dead(&self, peer: usize) -> bool {
+        peer < self.n && peer != self.me && self.peers[peer].is_dead()
+    }
+
+    fn check_addr(&self, at: ExecutorId, other: ExecutorId, channel: usize) -> NetResult<usize> {
+        if at.index() != self.me {
+            return Err(NetError::InvalidAddress(format!(
+                "transport is bound to rank {}, not {at}",
+                self.me
+            )));
+        }
+        if other.index() >= self.n || channel >= self.channels {
+            return Err(NetError::InvalidAddress(format!(
+                "({other}, ch{channel}) outside mesh of {} ranks x {} channels",
+                self.n, self.channels
+            )));
+        }
+        Ok(other.index() * self.channels + channel)
+    }
+
+    fn recv_inner(
+        &self,
+        at: ExecutorId,
+        from: ExecutorId,
+        channel: usize,
+        deadline: Option<Instant>,
+    ) -> NetResult<ByteBuf> {
+        let idx = self.check_addr(at, from, channel)?;
+        let from = from.index();
+        loop {
+            if let Some(msg) = self.inbox_rx[idx].try_recv() {
+                return Ok(msg);
+            }
+            if from != self.me && self.peers[from].is_dead() {
+                // Between the inbox check and the dead check the IO thread
+                // may have routed a final frame; drain once more before
+                // surfacing the error.
+                if let Some(msg) = self.inbox_rx[idx].try_recv() {
+                    return Ok(msg);
+                }
+                return Err(self.peers[from].error());
+            }
+            let mut quantum = RECV_QUANTUM;
+            if let Some(deadline) = deadline {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(NetError::Timeout);
+                }
+                quantum = quantum.min(left);
+            }
+            match self.inbox_rx[idx].recv_timeout(quantum) {
+                Ok(msg) => return Ok(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Disconnected),
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn send(&self, from: ExecutorId, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()> {
+        let idx = self.check_addr(from, to, channel)?;
+        let nbytes = msg.len();
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(nbytes as u64, Ordering::Relaxed);
+        let to = to.index();
+        if to == self.me {
+            // Loopback: no wire, no copy.
+            return self.inbox_tx[self.me * self.channels + channel]
+                .send(msg)
+                .map_err(|_| NetError::Disconnected);
+        }
+        self.stats.inter_node_messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.inter_node_bytes.fetch_add(nbytes as u64, Ordering::Relaxed);
+        if self.peers[to].is_dead() {
+            return Err(self.peers[to].error());
+        }
+        let wire = frame::encode_pooled(pool::global(), self.me as u32, channel as u32, &msg)?;
+        // The payload was copied into the wire frame; a sole-owned source
+        // buffer is reusable right now.
+        pool::global().recycle_frame(msg);
+        let _ = idx; // routing is by peer socket; channel rides in the frame
+        self.out_tx[to]
+            .as_ref()
+            .expect("peer != me has an outbound queue")
+            .send(wire)
+            .map_err(|_| NetError::Disconnected)?;
+        self.io_waker.unpark();
+        Ok(())
+    }
+
+    fn recv(&self, at: ExecutorId, from: ExecutorId, channel: usize) -> NetResult<ByteBuf> {
+        self.recv_inner(at, from, channel, None)
+    }
+
+    fn recv_timeout(
+        &self,
+        at: ExecutorId,
+        from: ExecutorId,
+        channel: usize,
+        timeout: Duration,
+    ) -> NetResult<ByteBuf> {
+        self.recv_inner(at, from, channel, Some(Instant::now() + timeout))
+    }
+
+    fn drain_all(&self) -> usize {
+        let mut dropped = 0;
+        for rx in &self.inbox_rx {
+            while let Some(msg) = rx.try_recv() {
+                pool::global().recycle_frame(msg);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.io_waker.unpark();
+        if let Some(handle) = self.io_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The background readiness loop: owns every socket of one transport.
+struct IoLoop {
+    conns: Vec<Conn>,
+    inbox_tx: Vec<Sender<ByteBuf>>,
+    channels: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl IoLoop {
+    fn run(mut self) {
+        let mut scratch = vec![0u8; READ_CHUNK];
+        while !self.shutdown.load(Ordering::Acquire) {
+            let mut progress = false;
+            for ci in 0..self.conns.len() {
+                if self.conns[ci].status.is_dead() {
+                    continue;
+                }
+                progress |= self.service_writes(ci);
+                progress |= self.service_reads(ci, &mut scratch);
+            }
+            if !progress {
+                std::thread::park_timeout(IDLE_POLL);
+            }
+        }
+        // Shutdown: flush frames already queued so a transport dropped right
+        // after its final send still delivers it (asynchronous sends promise
+        // eventual delivery while the peer lives). Bounded so a stuck peer
+        // cannot wedge the drop.
+        let flush_deadline = Instant::now() + FLUSH_TIMEOUT;
+        loop {
+            let mut pending = false;
+            for ci in 0..self.conns.len() {
+                if self.conns[ci].status.is_dead() {
+                    continue;
+                }
+                self.service_writes(ci);
+                let conn = &self.conns[ci];
+                if !conn.out.is_empty() {
+                    pending = true;
+                }
+            }
+            if !pending || Instant::now() >= flush_deadline {
+                break;
+            }
+            std::thread::park_timeout(IDLE_POLL);
+        }
+    }
+
+    /// Pulls queued frames and pushes bytes until the socket would block.
+    /// Returns whether any bytes moved.
+    fn service_writes(&mut self, ci: usize) -> bool {
+        let conn = &mut self.conns[ci];
+        while let Some(f) = conn.out_rx.try_recv() {
+            conn.out.push_back((f, 0));
+        }
+        let mut progress = false;
+        while let Some((front, off)) = conn.out.front_mut() {
+            match conn.stream.write(&front[*off..]) {
+                Ok(0) => {
+                    conn.die(NetError::Disconnected);
+                    return progress;
+                }
+                Ok(k) => {
+                    progress = true;
+                    *off += k;
+                    if *off == front.len() {
+                        let (done, _) = conn.out.pop_front().expect("front exists");
+                        pool::global().recycle_frame(done);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    conn.die(io_to_net(e));
+                    return progress;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Reads available bytes, decodes complete frames, and routes them.
+    /// Returns whether any bytes moved.
+    fn service_reads(&mut self, ci: usize, scratch: &mut [u8]) -> bool {
+        let mut progress = false;
+        loop {
+            let conn = &mut self.conns[ci];
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    // Clean EOF; torn mid-frame it is still a disconnect,
+                    // the partial bytes simply never become a frame.
+                    conn.die(NetError::Disconnected);
+                    return progress;
+                }
+                Ok(k) => {
+                    progress = true;
+                    conn.reader.extend(&scratch[..k]);
+                    loop {
+                        match self.conns[ci].reader.next_frame(pool::global()) {
+                            Ok(Some(decoded)) => {
+                                if let Err(e) = self.route(ci, decoded) {
+                                    self.conns[ci].die(e);
+                                    return progress;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                // Framing is unrecoverable: poison the
+                                // connection so receivers see the Codec
+                                // error instead of hanging.
+                                self.conns[ci].die(e);
+                                return progress;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    conn.die(io_to_net(e));
+                    return progress;
+                }
+            }
+        }
+    }
+
+    /// Delivers a decoded frame to its `(from, channel)` inbox.
+    fn route(&self, ci: usize, decoded: frame::DecodedFrame) -> NetResult<()> {
+        let peer = self.conns[ci].peer;
+        if decoded.from as usize != peer {
+            return Err(NetError::Codec(format!(
+                "frame claims sender {} on the socket of peer {peer}",
+                decoded.from
+            )));
+        }
+        let ch = decoded.channel as usize;
+        if ch >= self.channels {
+            return Err(NetError::Codec(format!(
+                "frame channel {ch} outside {} channels",
+                self.channels
+            )));
+        }
+        self.inbox_tx[peer * self.channels + ch]
+            .send(decoded.payload)
+            .map_err(|_| NetError::Disconnected)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_pair_roundtrip() {
+        let (a, b) = TcpTransport::pair_loopback(2).unwrap();
+        a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"hello tcp"))
+            .unwrap();
+        let got = b.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+        assert_eq!(&got[..], b"hello tcp");
+        // And the other direction.
+        b.send(ExecutorId(1), ExecutorId(0), 1, ByteBuf::from_static(b"back"))
+            .unwrap();
+        assert_eq!(&a.recv(ExecutorId(0), ExecutorId(1), 1).unwrap()[..], b"back");
+    }
+
+    #[test]
+    fn channels_are_independent_fifos_over_one_socket() {
+        let (a, b) = TcpTransport::pair_loopback(2).unwrap();
+        a.send(ExecutorId(0), ExecutorId(1), 1, ByteBuf::from_static(b"ch1")).unwrap();
+        a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"ch0-a")).unwrap();
+        a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"ch0-b")).unwrap();
+        assert_eq!(&b.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()[..], b"ch0-a");
+        assert_eq!(&b.recv(ExecutorId(1), ExecutorId(0), 1).unwrap()[..], b"ch1");
+        assert_eq!(&b.recv(ExecutorId(1), ExecutorId(0), 0).unwrap()[..], b"ch0-b");
+    }
+
+    #[test]
+    fn large_messages_survive_partial_writes() {
+        let (a, b) = TcpTransport::pair_loopback(1).unwrap();
+        // Large enough to exceed socket buffers, forcing WouldBlock cycles.
+        let big: Vec<u8> = (0..8 << 20).map(|i| (i * 31 % 251) as u8).collect();
+        let sent = big.clone();
+        a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from(big)).unwrap();
+        let got = b
+            .recv_timeout(ExecutorId(1), ExecutorId(0), 0, Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(got.len(), sent.len());
+        assert_eq!(&got[..], &sent[..]);
+    }
+
+    #[test]
+    fn self_send_is_loopback() {
+        let (a, _b) = TcpTransport::pair_loopback(1).unwrap();
+        a.send(ExecutorId(0), ExecutorId(0), 0, ByteBuf::from_static(b"self")).unwrap();
+        assert_eq!(&a.recv(ExecutorId(0), ExecutorId(0), 0).unwrap()[..], b"self");
+    }
+
+    #[test]
+    fn misbound_addresses_rejected() {
+        let (a, _b) = TcpTransport::pair_loopback(1).unwrap();
+        assert!(matches!(
+            a.send(ExecutorId(1), ExecutorId(0), 0, ByteBuf::new()),
+            Err(NetError::InvalidAddress(_))
+        ));
+        assert!(matches!(
+            a.recv_timeout(ExecutorId(0), ExecutorId(5), 0, Duration::from_millis(1)),
+            Err(NetError::InvalidAddress(_))
+        ));
+        assert!(matches!(
+            a.recv_timeout(ExecutorId(0), ExecutorId(1), 9, Duration::from_millis(1)),
+            Err(NetError::InvalidAddress(_))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (a, _b) = TcpTransport::pair_loopback(1).unwrap();
+        let t0 = Instant::now();
+        let err = a
+            .recv_timeout(ExecutorId(0), ExecutorId(1), 0, Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn peer_death_surfaces_as_disconnected_after_draining() {
+        let (a, b) = TcpTransport::pair_loopback(1).unwrap();
+        b.send(ExecutorId(1), ExecutorId(0), 0, ByteBuf::from_static(b"last words"))
+            .unwrap();
+        // Give the frame time to cross, then kill the peer.
+        let got = a
+            .recv_timeout(ExecutorId(0), ExecutorId(1), 0, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&got[..], b"last words");
+        drop(b);
+        // The next recv must fail fast with Disconnected, not hang.
+        let t0 = Instant::now();
+        let err = a
+            .recv_timeout(ExecutorId(0), ExecutorId(1), 0, Duration::from_secs(30))
+            .unwrap_err();
+        assert_eq!(err, NetError::Disconnected);
+        assert!(t0.elapsed() < Duration::from_secs(5), "death detection took {:?}", t0.elapsed());
+        // Sends to the dead peer fail too.
+        assert!(a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::new()).is_err());
+        assert!(a.peer_is_dead(1));
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let (a, b) = TcpTransport::pair_loopback(1).unwrap();
+        let t = std::thread::spawn(move || {
+            for _ in 0..200 {
+                let m = b.recv(ExecutorId(1), ExecutorId(0), 0).unwrap();
+                b.send(ExecutorId(1), ExecutorId(0), 0, m).unwrap();
+            }
+        });
+        for i in 0..200u32 {
+            a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+            let back = a.recv(ExecutorId(0), ExecutorId(1), 0).unwrap();
+            assert_eq!(u32::from_le_bytes(back[..].try_into().unwrap()), i);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn drain_all_discards_queued_frames() {
+        let (a, b) = TcpTransport::pair_loopback(1).unwrap();
+        for _ in 0..4 {
+            a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"stale")).unwrap();
+        }
+        // Wait until the frames have crossed the wire.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let first = b.recv_timeout(ExecutorId(1), ExecutorId(0), 0, Duration::from_secs(5));
+            assert!(first.is_ok());
+            break;
+        }
+        // Up to 3 remain queued; drain must report exactly what it dropped.
+        let mut drained = b.drain_all();
+        while drained < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+            drained += b.drain_all();
+        }
+        assert_eq!(drained, 3);
+    }
+
+    #[test]
+    fn steady_state_tcp_roundtrips_allocate_no_frames() {
+        let (a, b) = TcpTransport::pair_loopback(1).unwrap();
+        let payload = vec![7u8; 4096];
+        let pool = pool::global();
+        let roundtrip = |i: u32| {
+            let mut buf = pool.acquire(payload.len());
+            buf.extend_from_slice(&payload);
+            a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from(buf)).unwrap();
+            let got = b
+                .recv_timeout(ExecutorId(1), ExecutorId(0), 0, Duration::from_secs(10))
+                .unwrap();
+            assert_eq!(got.len(), payload.len(), "iteration {i}");
+            pool.recycle_frame(got);
+        };
+        for i in 0..50 {
+            roundtrip(i);
+        }
+        let before = pool.stats();
+        for i in 0..200 {
+            roundtrip(i);
+        }
+        let after = pool.stats();
+        assert_eq!(
+            after.misses, before.misses,
+            "steady-state TCP send/recv must not allocate frames"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Rendezvous: rank assignment and mesh establishment for TCP clusters.
+//!
+//! A Sparker cluster over real sockets needs three things before the first
+//! collective can run: every executor needs a **rank**, every executor needs
+//! every peer's **listen address**, and the full **mesh** of peer sockets
+//! must be dialed. This module implements the handshake, specified
+//! normatively in DESIGN.md §5g:
+//!
+//! 1. The driver binds a listener ([`Coordinator::bind`]) and its address is
+//!    handed to each executor process (command line, in our launcher).
+//! 2. Each executor binds its *own* listener first, then connects to the
+//!    driver and sends `HELLO(listen_addr)` ([`join`]).
+//! 3. When `n` executors have said hello, the driver assigns ranks in
+//!    arrival order and answers each with
+//!    `WELCOME(rank, n, channels, addrs[0..n])` ([`Coordinator::wait_for`]).
+//! 4. Each executor keeps the driver socket as its blocking **control
+//!    plane** ([`ControlConn`]) and builds the **data plane**: rank `i`
+//!    dials every rank `j < i` (sending a `PEER(i)` preamble so the acceptor
+//!    knows who arrived) and accepts from every rank `j > i` — one socket
+//!    per unordered pair, no dial/accept races. Because every listener is
+//!    bound before any `HELLO` is sent, all dials land in a bound listener's
+//!    backlog and nothing deadlocks.
+//!
+//! All control traffic uses the same wire frames as the data plane
+//! ([`frame`]) on the reserved [`frame::CONTROL_CHANNEL`], so one codec (and
+//! one property suite) covers the whole socket surface.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::bytebuf::ByteBuf;
+use crate::codec::{Decoder, Encoder};
+use crate::error::{NetError, NetResult};
+use crate::pool;
+
+use super::frame::{self, io_to_net, CONTROL_CHANNEL, UNRANKED};
+use super::TcpTransport;
+
+/// Control-payload tag: executor → driver, "my listener is at `addr`".
+const TAG_HELLO: u8 = 1;
+/// Control-payload tag: driver → executor, rank/mesh assignment.
+const TAG_WELCOME: u8 = 2;
+/// Control-payload tag: mesh-dial preamble identifying the dialing rank.
+const TAG_PEER: u8 = 3;
+
+/// How often pending accepts/connects are re-polled during rendezvous.
+const POLL: Duration = Duration::from_millis(5);
+
+fn timeout_err(what: &str) -> NetError {
+    NetError::Io(format!("rendezvous timed out waiting for {what}"))
+}
+
+/// A blocking, framed control connection between the driver and one
+/// executor. Lives beside the data-plane [`TcpTransport`]: job dispatch and
+/// result collection run here, collective traffic runs there.
+#[derive(Debug)]
+pub struct ControlConn {
+    stream: TcpStream,
+    /// The rank on the *other* end ([`UNRANKED`] for the driver itself).
+    pub peer: u32,
+}
+
+impl ControlConn {
+    /// Sends one control payload.
+    pub fn send(&mut self, payload: &[u8]) -> NetResult<()> {
+        frame::write_frame(&mut self.stream, pool::global(), UNRANKED, CONTROL_CHANNEL, payload)
+    }
+
+    /// Receives one control payload, waiting at most `timeout`.
+    pub fn recv(&mut self, timeout: Duration) -> NetResult<ByteBuf> {
+        self.stream.set_read_timeout(Some(timeout)).map_err(io_to_net)?;
+        let decoded = frame::read_frame(&mut self.stream, pool::global())?;
+        Ok(decoded.payload)
+    }
+}
+
+/// Driver side: accepts executor hellos and assigns ranks.
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+impl Coordinator {
+    /// Binds the rendezvous listener on `addr` (use `127.0.0.1:0` for an
+    /// ephemeral loopback port).
+    pub fn bind(addr: &str) -> NetResult<Self> {
+        let listener = TcpListener::bind(addr).map_err(io_to_net)?;
+        Ok(Self { listener })
+    }
+
+    /// The address executors must be pointed at.
+    pub fn local_addr(&self) -> NetResult<SocketAddr> {
+        self.listener.local_addr().map_err(io_to_net)
+    }
+
+    /// Waits until `n` executors have said hello, assigns ranks 0..n in
+    /// arrival order, sends each its welcome, and returns the control
+    /// connections indexed by rank.
+    pub fn wait_for(&self, n: usize, channels: usize, timeout: Duration) -> NetResult<Vec<ControlConn>> {
+        let deadline = Instant::now() + timeout;
+        self.listener.set_nonblocking(true).map_err(io_to_net)?;
+        let mut joined: Vec<(TcpStream, String)> = Vec::with_capacity(n);
+        while joined.len() < n {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).map_err(io_to_net)?;
+                    stream.set_nodelay(true).map_err(io_to_net)?;
+                    let mut stream = stream;
+                    stream
+                        .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now()).max(POLL)))
+                        .map_err(io_to_net)?;
+                    let hello = frame::read_frame(&mut stream, pool::global())?;
+                    let mut dec = Decoder::new(hello.payload);
+                    let tag = dec.get_u8()?;
+                    if tag != TAG_HELLO {
+                        return Err(NetError::Codec(format!("expected HELLO tag, got {tag}")));
+                    }
+                    let addr = dec.get_string()?;
+                    joined.push((stream, addr));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(timeout_err(&format!(
+                            "executors ({}/{n} joined)",
+                            joined.len()
+                        )));
+                    }
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(io_to_net(e)),
+            }
+        }
+        let addrs: Vec<String> = joined.iter().map(|(_, a)| a.clone()).collect();
+        let mut conns = Vec::with_capacity(n);
+        for (rank, (mut stream, _)) in joined.into_iter().enumerate() {
+            let mut enc = Encoder::new();
+            enc.put_u8(TAG_WELCOME);
+            enc.put_u32(rank as u32);
+            enc.put_usize(n);
+            enc.put_usize(channels);
+            enc.put_usize(addrs.len());
+            for a in &addrs {
+                enc.put_str(a);
+            }
+            let payload = enc.finish();
+            frame::write_frame(&mut stream, pool::global(), UNRANKED, CONTROL_CHANNEL, &payload)?;
+            conns.push(ControlConn { stream, peer: rank as u32 });
+        }
+        Ok(conns)
+    }
+}
+
+/// An executor's fully-established cluster membership.
+pub struct Joined {
+    /// This executor's rank.
+    pub rank: usize,
+    /// Total executors in the mesh.
+    pub n: usize,
+    /// Parallel channels per directed pair.
+    pub channels: usize,
+    /// The data-plane transport over the peer mesh.
+    pub transport: Arc<TcpTransport>,
+    /// The blocking control connection to the driver.
+    pub control: ControlConn,
+}
+
+/// Executor side: joins the cluster at `driver_addr` and establishes the
+/// full peer mesh. Blocks until the mesh is up or `timeout` expires.
+pub fn join(driver_addr: &str, timeout: Duration) -> NetResult<Joined> {
+    let deadline = Instant::now() + timeout;
+
+    // Bind our own listener *before* hello: every peer that learns our
+    // address from the welcome can then dial it without racing us.
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(io_to_net)?;
+    let my_addr = listener.local_addr().map_err(io_to_net)?.to_string();
+
+    // Connect to the driver, retrying while it may still be binding.
+    let mut driver = connect_retry(driver_addr, deadline)?;
+    driver.set_nodelay(true).map_err(io_to_net)?;
+
+    let mut enc = Encoder::new();
+    enc.put_u8(TAG_HELLO);
+    enc.put_str(&my_addr);
+    let hello = enc.finish();
+    frame::write_frame(&mut driver, pool::global(), UNRANKED, CONTROL_CHANNEL, &hello)?;
+
+    driver
+        .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now()).max(POLL)))
+        .map_err(io_to_net)?;
+    let welcome = frame::read_frame(&mut driver, pool::global())?;
+    let mut dec = Decoder::new(welcome.payload);
+    let tag = dec.get_u8()?;
+    if tag != TAG_WELCOME {
+        return Err(NetError::Codec(format!("expected WELCOME tag, got {tag}")));
+    }
+    let rank = dec.get_u32()? as usize;
+    let n = dec.get_usize()?;
+    let channels = dec.get_usize()?;
+    let count = dec.get_usize()?;
+    if count != n {
+        return Err(NetError::Codec(format!("welcome lists {count} addrs for n={n}")));
+    }
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        addrs.push(dec.get_string()?);
+    }
+
+    // Data-plane mesh: dial the lower ranks (with a PEER preamble), accept
+    // the higher ones. One socket per unordered pair.
+    let mut conns: Vec<(usize, TcpStream)> = Vec::with_capacity(n.saturating_sub(1));
+    for (j, addr) in addrs.iter().enumerate().take(rank) {
+        let mut stream = connect_retry(addr, deadline)?;
+        stream.set_nodelay(true).map_err(io_to_net)?;
+        let mut enc = Encoder::new();
+        enc.put_u8(TAG_PEER);
+        enc.put_u32(rank as u32);
+        let preamble = enc.finish();
+        frame::write_frame(&mut stream, pool::global(), rank as u32, CONTROL_CHANNEL, &preamble)?;
+        conns.push((j, stream));
+    }
+    listener.set_nonblocking(true).map_err(io_to_net)?;
+    while conns.len() < n - 1 {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).map_err(io_to_net)?;
+                let mut stream = stream;
+                stream
+                    .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now()).max(POLL)))
+                    .map_err(io_to_net)?;
+                let preamble = frame::read_frame(&mut stream, pool::global())?;
+                let mut dec = Decoder::new(preamble.payload);
+                let tag = dec.get_u8()?;
+                if tag != TAG_PEER {
+                    return Err(NetError::Codec(format!("expected PEER tag, got {tag}")));
+                }
+                let j = dec.get_u32()? as usize;
+                if j <= rank || j >= n {
+                    return Err(NetError::Codec(format!(
+                        "peer preamble claims rank {j}, acceptor is rank {rank} of {n}"
+                    )));
+                }
+                stream.set_read_timeout(None).map_err(io_to_net)?;
+                conns.push((j, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(timeout_err(&format!(
+                        "peer dials ({}/{} connected)",
+                        conns.len(),
+                        n - 1
+                    )));
+                }
+                std::thread::sleep(POLL);
+            }
+            Err(e) => return Err(io_to_net(e)),
+        }
+    }
+
+    let transport = TcpTransport::new(rank, n, channels, conns)?;
+    Ok(Joined { rank, n, channels, transport, control: ControlConn { stream: driver, peer: UNRANKED } })
+}
+
+fn connect_retry(addr: &str, deadline: Instant) -> NetResult<TcpStream> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Io(format!("connecting to {addr}: {e}")));
+                }
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ExecutorId;
+    use crate::transport::Transport;
+
+    /// Full three-party rendezvous inside one process: a driver thread and
+    /// three "executor" threads that each join, then exchange one message
+    /// around the ring.
+    #[test]
+    fn three_way_rendezvous_builds_a_working_mesh() {
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap().to_string();
+        let n = 3;
+        let mut joiners = Vec::new();
+        for _ in 0..n {
+            let addr = addr.clone();
+            joiners.push(std::thread::spawn(move || {
+                let mut joined = join(&addr, Duration::from_secs(10)).unwrap();
+                let (rank, size) = (joined.rank, joined.n);
+                assert_eq!(size, 3);
+                // Ring exchange: send to (rank+1) % n, receive from prev.
+                let next = ExecutorId(((rank + 1) % size) as u32);
+                let prev = ((rank + size - 1) % size) as u32;
+                joined
+                    .transport
+                    .send(ExecutorId(rank as u32), next, 0, ByteBuf::from(vec![rank as u8; 64]))
+                    .unwrap();
+                let got = joined
+                    .transport
+                    .recv_timeout(ExecutorId(rank as u32), ExecutorId(prev), 0, Duration::from_secs(10))
+                    .unwrap();
+                assert_eq!(got.len(), 64);
+                assert!(got.iter().all(|&b| b == prev as u8));
+                // Control plane: echo rank to the driver.
+                let mut enc = Encoder::new();
+                enc.put_u32(rank as u32);
+                joined.control.send(&enc.finish()).unwrap();
+                rank
+            }));
+        }
+        let mut controls = coordinator.wait_for(n, 2, Duration::from_secs(10)).unwrap();
+        assert_eq!(controls.len(), n);
+        for (rank, c) in controls.iter_mut().enumerate() {
+            let msg = c.recv(Duration::from_secs(10)).unwrap();
+            let mut dec = Decoder::new(msg);
+            assert_eq!(dec.get_u32().unwrap(), rank as u32);
+        }
+        let mut ranks: Vec<usize> = joiners.into_iter().map(|j| j.join().unwrap()).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_executors() {
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let err = coordinator.wait_for(2, 1, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "{err:?}");
+    }
+}

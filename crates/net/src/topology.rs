@@ -16,6 +16,7 @@ use std::fmt;
 pub struct ExecutorId(pub u32);
 
 impl ExecutorId {
+    /// This id as a dense `usize` rank.
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -30,6 +31,7 @@ impl fmt::Display for ExecutorId {
 /// Static description of one executor: where it lives and what it owns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutorInfo {
+    /// The executor's globally unique id.
     pub id: ExecutorId,
     /// Hostname of the physical node ("node-03"). Topology-aware ordering
     /// sorts on this.

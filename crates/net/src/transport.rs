@@ -36,6 +36,30 @@ use crate::time::wait_until;
 use crate::topology::{ExecutorId, ExecutorInfo};
 
 /// A point-to-point, multi-channel message transport between executors.
+///
+/// Implementations range from the shaped in-process [`MeshTransport`] to the
+/// real-socket [`crate::tcp::TcpTransport`]; collective code is written
+/// against this trait and cannot tell them apart:
+///
+/// ```
+/// use sparker_net::topology::{ExecutorId, ExecutorInfo};
+/// use sparker_net::transport::{MeshTransport, Transport};
+/// use sparker_net::ByteBuf;
+///
+/// let infos: Vec<ExecutorInfo> = (0..2)
+///     .map(|i| ExecutorInfo {
+///         id: ExecutorId(i),
+///         host: format!("node-{i}"),
+///         node: i as usize,
+///         cores: 1,
+///     })
+///     .collect();
+/// let net = MeshTransport::unshaped(&infos, 1);
+/// net.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"hop"))?;
+/// let got = net.recv(ExecutorId(1), ExecutorId(0), 0)?;
+/// assert_eq!(&got[..], b"hop");
+/// # Ok::<(), sparker_net::NetError>(())
+/// ```
 pub trait Transport: Send + Sync {
     /// Number of executors addressable by this transport.
     fn size(&self) -> usize;
@@ -65,18 +89,26 @@ pub trait Transport: Send + Sync {
 /// Running totals maintained by a transport.
 #[derive(Debug, Default)]
 pub struct NetStats {
+    /// Frames sent.
     pub messages: AtomicU64,
+    /// Payload bytes sent.
     pub bytes: AtomicU64,
+    /// Frames sent between executors on different nodes.
     pub inter_node_messages: AtomicU64,
+    /// Payload bytes sent between executors on different nodes.
     pub inter_node_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of [`NetStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NetStatsSnapshot {
+    /// Frames sent.
     pub messages: u64,
+    /// Payload bytes sent.
     pub bytes: u64,
+    /// Frames sent between executors on different nodes.
     pub inter_node_messages: u64,
+    /// Payload bytes sent between executors on different nodes.
     pub inter_node_bytes: u64,
 }
 
@@ -390,26 +422,32 @@ pub struct Endpoint {
 }
 
 impl Endpoint {
+    /// Binds `net` to executor `me`.
     pub fn new(net: Arc<dyn Transport>, me: ExecutorId) -> Self {
         Self { net, me }
     }
 
+    /// The executor this endpoint speaks as.
     pub fn id(&self) -> ExecutorId {
         self.me
     }
 
+    /// Channels per directed pair on the underlying transport.
     pub fn channels(&self) -> usize {
         self.net.channels()
     }
 
+    /// Sends `msg` from this executor to `to` on `channel`.
     pub fn send(&self, to: ExecutorId, channel: usize, msg: ByteBuf) -> NetResult<()> {
         self.net.send(self.me, to, channel, msg)
     }
 
+    /// Blocks for the next frame from `from` on `channel`.
     pub fn recv(&self, from: ExecutorId, channel: usize) -> NetResult<ByteBuf> {
         self.net.recv(self.me, from, channel)
     }
 
+    /// Like [`Endpoint::recv`] with an upper bound on the wait.
     pub fn recv_timeout(
         &self,
         from: ExecutorId,

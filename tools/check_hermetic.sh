@@ -53,7 +53,7 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo build --offline --benches
 
-# Deadline-bounded smoke runner for steps 4-7: all of them are "run this
+# Deadline-bounded smoke runner for steps 4-8: all of them are "run this
 # cargo invocation offline, fail the gate on non-zero or on a hang".
 smoke() {
   local sub="$1"
@@ -86,5 +86,12 @@ smoke run --release -p sparker-bench --bin ablation_sparse_density -- --smoke
 #    ring is bit-exact with unpipelined, striped IMM totals equal the
 #    single-lock totals. Writes results/bench_hotpath.json + BENCH_5.json.
 smoke run --release -p sparker-bench --bin bench_hotpath -- --smoke
+
+# 8. Multi-process smoke — launch_cluster spawns 3 real executor OS
+#    processes over localhost TCP and runs the full splitAggregate matrix
+#    (dense, sparse, injected-failure retry, executor kill → tree
+#    fallback), asserting every answer bit-exact against the oracle. A
+#    timeout here means the socket transport or the recovery path hangs.
+smoke run --release -p sparker-bench --bin launch_cluster -- --smoke
 
 echo "hermetic check passed: built and tested fully offline, path-only deps"

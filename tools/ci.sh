@@ -3,8 +3,9 @@
 #
 #   tier 1  hermeticity + build + full test suite, warnings denied
 #           (tools/check_hermetic.sh under RUSTFLAGS="-D warnings";
-#           check_hermetic's own steps 4-7 cover the chaos gate, trace
-#           export, sparse ablation, and the hot-path perf gate)
+#           check_hermetic's own steps 4-8 cover the chaos gate, trace
+#           export, sparse ablation, the hot-path perf gate, and the
+#           3-process launch_cluster smoke)
 #   tier 2  chaos + property suites, each under an explicit wall-clock
 #           bound (a timeout means a fault path regressed into a hang)
 #   tier 3  bench smoke: the self-asserting harnesses in --smoke shape
@@ -54,10 +55,13 @@ run 2 "prop_pool"          timeout 180 cargo test -q --offline -p sparker-repro 
 run 2 "prop_collectives"   timeout 180 cargo test -q --offline -p sparker-repro --test prop_collectives
 run 2 "prop_sparse"        timeout 180 cargo test -q --offline -p sparker-repro --test prop_sparse
 run 2 "prop_ml"            timeout 180 cargo test -q --offline -p sparker-repro --test prop_ml
+run 2 "prop_tcp_frames"    timeout 180 cargo test -q --offline -p sparker-repro --test prop_tcp_frames
 
 # --- tier 3: bench smoke (self-asserting harnesses) ----------------------
 run 3 "bench_hotpath"      timeout 180 cargo run -q --offline --release -p sparker-bench --bin bench_hotpath -- --smoke
 run 3 "ablation_sparse"    timeout 180 cargo run -q --offline --release -p sparker-bench --bin ablation_sparse_density -- --smoke
+run 3 "bench_transport"    timeout 180 cargo run -q --offline --release -p sparker-bench --bin bench_transport -- --smoke
+run 3 "launch_cluster"     timeout 180 cargo run -q --offline --release -p sparker-bench --bin launch_cluster -- --smoke
 
 # --- summary -------------------------------------------------------------
 echo
