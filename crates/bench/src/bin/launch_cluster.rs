@@ -17,25 +17,36 @@
 //!    fence discarding the stale attempt-0 frames still sitting in real
 //!    socket buffers.
 //! 4. **kill** — the highest rank calls `exit(13)` mid-ring. Survivors see
-//!    `Disconnected`/timeouts (never a hang), and the driver degrades to the
-//!    tree fallback: partitions are recomputed from lineage and whole
-//!    aggregators merge pairwise. Still bit-exact.
+//!    `Disconnected`/timeouts (never a hang), the driver publishes a new
+//!    membership view, and the gang retry re-forms the *ring over the
+//!    survivors* (DESIGN.md §5h) — partitions recomputed from lineage, the
+//!    tree fallback held in reserve. Still bit-exact.
 //!
 //! Exits non-zero if any job result diverges from the oracle, a child exits
 //! with an unexpected status, or anything hangs past the deadlines.
 //! `--smoke` shrinks dimensions so the whole run fits in a CI step
 //! (check_hermetic step 8); `--executor --driver ADDR` is the child mode.
+//! The [`TcpConfig`] tunables are flags (`--hb-ms`, `--suspicion-ms`,
+//! `--dials`, `--backoff-ms`, `--cap-ms`, `--window-ms`), forwarded to
+//! every executor child; absent flags keep the documented defaults.
 
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use sparker_bench::{print_header, Table};
 use sparker_engine::multiproc::{
-    oracle, run_executor, JobOutcome, JobSpec, MultiProcDriver, KILLED_EXIT_CODE,
+    oracle, run_executor_with, JobOutcome, JobSpec, MultiProcDriver, KILLED_EXIT_CODE,
 };
 use sparker_net::tcp::rendezvous::Coordinator;
+use sparker_net::tcp::TcpConfig;
 
 const CHANNELS: usize = 2;
+
+/// The transport tunables exposed as flags (values in milliseconds),
+/// forwarded verbatim from the driver invocation to every executor child.
+/// Absent flags keep the documented [`TcpConfig`] defaults.
+const TUNABLE_FLAGS: [&str; 6] =
+    ["--hb-ms", "--suspicion-ms", "--dials", "--backoff-ms", "--cap-ms", "--window-ms"];
 
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -43,6 +54,25 @@ fn bits(v: &[f64]) -> Vec<u64> {
 
 fn arg_after(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_ms(args: &[String], flag: &str, default: Duration) -> Duration {
+    arg_after(args, flag)
+        .map(|s| Duration::from_millis(s.parse().unwrap_or_else(|_| panic!("{flag} wants ms"))))
+        .unwrap_or(default)
+}
+
+fn tcp_config(args: &[String]) -> TcpConfig {
+    let mut cfg = TcpConfig::default();
+    cfg.health.interval = arg_ms(args, "--hb-ms", cfg.health.interval);
+    cfg.health.suspicion = arg_ms(args, "--suspicion-ms", cfg.health.suspicion);
+    if let Some(n) = arg_after(args, "--dials") {
+        cfg.reconnect.max_rounds = n.parse().expect("--dials wants a count");
+    }
+    cfg.reconnect.backoff_base = arg_ms(args, "--backoff-ms", cfg.reconnect.backoff_base);
+    cfg.reconnect.backoff_cap = arg_ms(args, "--cap-ms", cfg.reconnect.backoff_cap);
+    cfg.reconnect.accept_window = arg_ms(args, "--window-ms", cfg.reconnect.accept_window);
+    cfg
 }
 
 /// Waits up to `deadline` for `child` to exit, then kills it. Returns the
@@ -78,7 +108,8 @@ fn main() {
     // Child mode: join the driver and serve jobs until shutdown.
     if args.iter().any(|a| a == "--executor") {
         let addr = arg_after(&args, "--driver").expect("--executor requires --driver ADDR");
-        run_executor(&addr, Duration::from_secs(30)).expect("executor failed");
+        run_executor_with(&addr, Duration::from_secs(30), tcp_config(&args))
+            .expect("executor failed");
         return;
     }
 
@@ -95,14 +126,22 @@ fn main() {
 
     let (dim, parts, deadline_ms) = if smoke { (2_048, 9, 1_500) } else { (65_536, 24, 4_000) };
 
-    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind coordinator");
+    let mut coordinator = Coordinator::bind("127.0.0.1:0").expect("bind coordinator");
     let addr = coordinator.local_addr().expect("coordinator addr").to_string();
     let exe = std::env::current_exe().expect("current exe");
 
+    let mut forwarded: Vec<String> = Vec::new();
+    for flag in TUNABLE_FLAGS {
+        if let Some(v) = arg_after(&args, flag) {
+            forwarded.push(flag.to_string());
+            forwarded.push(v);
+        }
+    }
     let mut children: Vec<Child> = (0..execs)
         .map(|i| {
             Command::new(&exe)
                 .args(["--executor", "--driver", &addr])
+                .args(&forwarded)
                 .stdin(Stdio::null())
                 .spawn()
                 .unwrap_or_else(|e| panic!("spawn executor {i}: {e}"))
@@ -168,14 +207,17 @@ fn main() {
     record("flaky (retry)", &o);
 
     // 4. Kill (last: it costs us an executor): the highest rank dies
-    //    mid-ring; the tree fallback must still produce the exact answer.
+    //    mid-ring; the survivors must re-form the ring under a new
+    //    membership view and still produce the exact answer.
     let victim = execs as u32 - 1;
     let mut kill = base(4);
     kill.die_rank = victim;
     let o = driver.run_job(&kill).expect("kill job");
-    assert!(o.used_fallback, "losing a process must trigger the tree fallback");
+    assert!(!o.used_fallback, "survivor ring re-formation must beat the tree fallback");
+    assert_eq!(o.ring_size, execs - 1, "retry ring must span exactly the survivors");
+    assert!(o.view_generation >= 1, "losing a process must publish a new view");
     check_exact("kill", &o, &oracle(&kill));
-    record("kill (fallback)", &o);
+    record("kill (survivor ring)", &o);
 
     driver.shutdown();
     // Ranks are assigned by rendezvous arrival order, not spawn order, so we

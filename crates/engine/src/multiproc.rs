@@ -14,38 +14,57 @@
 //!   where the chunk-pipelined ring reduce-scatter runs, epoch-fenced
 //!   exactly as in-process ([`sparker_collectives::RingComm`]).
 //!
-//! # Recovery semantics (mirroring `ops::split_aggregate`)
+//! # Recovery semantics (DESIGN.md §5h)
 //!
 //! Partition data is a *pure function* of `(seed, part)` — the multi-process
-//! equivalent of RDD lineage: any executor can recompute any partition. On a
-//! transient job failure (an executor reports [`ExecMsg::JobErr`]) the
-//! driver retries the whole gang with a bumped `attempt`; stale frames from
-//! the failed attempt are rejected by the receivers' epoch fence — over real
-//! sockets this is load-bearing, not simulated. When an executor *dies*
-//! (its control socket drops, or peers see [`sparker_net::NetError::Disconnected`]
-//! on the mesh), the ring is unusable, so the driver degrades to the tree
-//! fallback: survivors recompute the dead executor's partitions from lineage
-//! and ship whole aggregators up the control plane, which the driver merges
-//! pairwise — slower, but exact. Fault injection for both paths is built
-//! into [`JobSpec`] (`fail_rank`, `die_rank`) so `launch_cluster` can prove
-//! them against genuinely killed processes.
+//! equivalent of RDD lineage: any executor can recompute any partition.
+//! Recovery is layered, cheapest first:
+//!
+//! 1. **Reconnection** (inside the transport): a transient socket failure is
+//!    re-dialed with backoff; the job attempt may fail, but the *gang retry*
+//!    runs over the healed link and the epoch fence discards stale frames.
+//!    The membership view does not change.
+//! 2. **Ring over survivors**: when an executor is confirmed dead (its
+//!    control socket dropped), the driver bumps the generation of its
+//!    [`MembershipView`], and the next attempt runs the *ring* over the
+//!    survivors — re-ranked by view position, same lineage recomputation,
+//!    still bit-exact. The tree fallback is no longer the first response to
+//!    death.
+//! 3. **Tree fallback** (last resort): only when ring attempts are
+//!    exhausted, survivors ship whole aggregators up the control plane and
+//!    the driver merges pairwise — slower, but exact.
+//!
+//! A restarted executor re-joins through rendezvous between jobs
+//! ([`MultiProcDriver::try_readmit`]): it takes over the vacated rank, dials
+//! the live lower ranks itself, and the driver tells live higher ranks to
+//! dial it ([`DriverMsg::Admit`]); the next view includes it again.
+//!
+//! Fault injection for all paths is built into [`JobSpec`] (`fail_rank`,
+//! `die_rank`, `drop_rank`/`drop_peer`) so `launch_cluster`/`chaos_cluster`
+//! can prove them against genuinely killed, stopped, and disconnected
+//! processes.
 //!
 //! All job values are integer-valued `f64`s, so sums are exact in any merge
-//! order and every path (ring, fallback, driver-side [`oracle`]) must agree
-//! **bit-for-bit** — the acceptance check is exact equality, not tolerance.
+//! order and every path (ring, survivor ring, tree, driver-side [`oracle`])
+//! must agree **bit-for-bit** — the acceptance check is exact equality, not
+//! tolerance.
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use sparker_collectives::ring::ring_reduce_scatter_chunked_by;
 use sparker_collectives::RingComm;
 use sparker_net::codec::{Decoder, Encoder, F64Array, Payload};
 use sparker_net::error::{NetError, NetResult};
-use sparker_net::tcp::rendezvous::{self, ControlConn, Joined};
+use sparker_net::tcp::rendezvous::{self, ControlConn, Coordinator, Joined};
+use sparker_net::tcp::{frame, TcpConfig};
 use sparker_net::topology::{ExecutorId, ExecutorInfo, RingOrder, RingTopology};
 use sparker_net::transport::Transport;
-use sparker_net::ByteBuf;
+use sparker_net::{pool, ByteBuf};
+use sparker_obs::metrics::{self, Counter, MetricValue};
 use sparker_sparse::DenseOrSparse;
+
+use crate::task::{EngineError, EngineResult};
 
 /// Exit code of an executor killed by `die_rank` fault injection, so the
 /// launcher can tell an injected death from a crash.
@@ -54,11 +73,77 @@ pub const KILLED_EXIT_CODE: i32 = 13;
 /// Sentinel for "no rank" in the fault-injection fields.
 pub const NO_RANK: u32 = u32::MAX;
 
+fn counter_cached(cell: &'static OnceLock<Arc<Counter>>, name: &'static str) -> &'static Arc<Counter> {
+    cell.get_or_init(|| metrics::counter(name))
+}
+
+/// `multiproc.view_changes`: membership views published by the driver.
+fn count_view_change() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter_cached(&C, "multiproc.view_changes").add(1);
+}
+
+/// `multiproc.ring_retries`: gang attempts beyond the first.
+fn count_ring_retry() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter_cached(&C, "multiproc.ring_retries").add(1);
+}
+
+/// `multiproc.fallbacks`: jobs that degraded to the tree fallback.
+fn count_fallback() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter_cached(&C, "multiproc.fallbacks").add(1);
+}
+
+/// `multiproc.readmissions`: executors re-admitted to a vacated rank.
+fn count_readmission() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter_cached(&C, "multiproc.readmissions").add(1);
+}
+
+/// A generation-numbered membership view: which ranks participate in a job.
+///
+/// The driver owns the view; it bumps `generation` whenever the member set
+/// changes (death or re-admission) and ships the view inside every
+/// [`JobSpec`]. Executors build the ring over `members` in order — their
+/// ring position is their index in this list, while transport addressing
+/// keeps using absolute ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Monotonic view number (0 = the founding full mesh).
+    pub generation: u64,
+    /// Participating absolute ranks, ascending.
+    pub members: Vec<u32>,
+}
+
+impl MembershipView {
+    /// The founding view: all `n` ranks, generation 0.
+    pub fn full(n: usize) -> Self {
+        Self { generation: 0, members: (0..n as u32).collect() }
+    }
+}
+
+impl Payload for MembershipView {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.generation);
+        enc.put_u32_slice(&self.members);
+    }
+
+    fn decode_from(dec: &mut Decoder) -> NetResult<Self> {
+        Ok(Self { generation: dec.get_u64()?, members: dec.get_u32_vec()? })
+    }
+
+    fn size_hint(&self) -> usize {
+        8 + 8 + 4 * self.members.len()
+    }
+}
+
 /// One split-aggregate job, shipped whole to every executor.
 ///
 /// Data is defined by `(seed, dim, density, total_parts)` through
 /// [`part_vector`]; `assigned[rank]` lists the partitions each rank
-/// aggregates locally before the ring runs.
+/// aggregates locally before the ring runs. `view` names the ranks that
+/// participate (the ring is formed over them in order).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Collective op id — the `op` half of the epoch fence.
@@ -90,7 +175,16 @@ pub struct JobSpec {
     /// Fault injection: this rank exits mid-ring on attempt 0
     /// ([`NO_RANK`] = off).
     pub die_rank: u32,
-    /// Partitions per rank, indexed by rank.
+    /// Fault injection: this rank severs its data-plane connection to
+    /// `drop_peer` just before the ring on attempt 0 ([`NO_RANK`] = off).
+    /// With reconnection armed the link heals and the job must still
+    /// complete without a view change.
+    pub drop_rank: u32,
+    /// The peer whose connection `drop_rank` severs.
+    pub drop_peer: u32,
+    /// The membership view this job runs under (driver fills it).
+    pub view: MembershipView,
+    /// Partitions per absolute rank, indexed by rank.
     pub assigned: Vec<Vec<u64>>,
 }
 
@@ -111,6 +205,9 @@ impl JobSpec {
             recv_deadline_ms: 2_000,
             fail_rank: NO_RANK,
             die_rank: NO_RANK,
+            drop_rank: NO_RANK,
+            drop_peer: NO_RANK,
+            view: MembershipView { generation: 0, members: Vec::new() },
             assigned: Vec::new(),
         }
     }
@@ -139,6 +236,9 @@ impl Payload for JobSpec {
         enc.put_u64(self.recv_deadline_ms);
         enc.put_u32(self.fail_rank);
         enc.put_u32(self.die_rank);
+        enc.put_u32(self.drop_rank);
+        enc.put_u32(self.drop_peer);
+        self.view.encode_into(enc);
         enc.put_usize(self.assigned.len());
         for parts in &self.assigned {
             enc.put_u64_slice(parts);
@@ -159,6 +259,9 @@ impl Payload for JobSpec {
         let recv_deadline_ms = dec.get_u64()?;
         let fail_rank = dec.get_u32()?;
         let die_rank = dec.get_u32()?;
+        let drop_rank = dec.get_u32()?;
+        let drop_peer = dec.get_u32()?;
+        let view = MembershipView::decode_from(dec)?;
         let n = dec.get_usize()?;
         let mut assigned = Vec::with_capacity(n);
         for _ in 0..n {
@@ -178,12 +281,15 @@ impl Payload for JobSpec {
             recv_deadline_ms,
             fail_rank,
             die_rank,
+            drop_rank,
+            drop_peer,
+            view,
             assigned,
         })
     }
 
     fn size_hint(&self) -> usize {
-        85 + 8 + self.assigned.iter().map(|p| 8 + 8 * p.len()).sum::<usize>()
+        85 + 8 + self.view.size_hint() + 8 + self.assigned.iter().map(|p| 8 + 8 * p.len()).sum::<usize>()
     }
 }
 
@@ -202,6 +308,19 @@ pub enum DriverMsg {
         /// Partitions this executor must cover.
         parts: Vec<u64>,
     },
+    /// A replacement executor took over `rank`: dial its fresh listener at
+    /// `addr` (sent only to live ranks *above* `rank`, per the mesh dial
+    /// rule) and answer [`ExecMsg::AdmitOk`].
+    Admit {
+        /// The re-admitted absolute rank.
+        rank: u32,
+        /// Its new listen address.
+        addr: String,
+        /// The view generation this admission leads to (diagnostics).
+        generation: u64,
+    },
+    /// Report recovery metrics ([`ExecMsg::Metrics`]).
+    Metrics,
     /// Clean shutdown of the executor process.
     Shutdown,
 }
@@ -209,6 +328,8 @@ pub enum DriverMsg {
 const TAG_RUN: u8 = 1;
 const TAG_FALLBACK: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
+const TAG_ADMIT: u8 = 4;
+const TAG_METRICS: u8 = 5;
 
 impl Payload for DriverMsg {
     fn encode_into(&self, enc: &mut Encoder) {
@@ -223,6 +344,13 @@ impl Payload for DriverMsg {
                 spec.encode_into(enc);
                 enc.put_u64_slice(parts);
             }
+            DriverMsg::Admit { rank, addr, generation } => {
+                enc.put_u8(TAG_ADMIT);
+                enc.put_u32(*rank);
+                enc.put_str(addr);
+                enc.put_u64(*generation);
+            }
+            DriverMsg::Metrics => enc.put_u8(TAG_METRICS),
             DriverMsg::Shutdown => enc.put_u8(TAG_SHUTDOWN),
         }
     }
@@ -235,6 +363,12 @@ impl Payload for DriverMsg {
                 spec: JobSpec::decode_from(dec)?,
                 parts: dec.get_u64_vec()?,
             }),
+            TAG_ADMIT => Ok(DriverMsg::Admit {
+                rank: dec.get_u32()?,
+                addr: dec.get_string()?,
+                generation: dec.get_u64()?,
+            }),
+            TAG_METRICS => Ok(DriverMsg::Metrics),
             TAG_SHUTDOWN => Ok(DriverMsg::Shutdown),
             tag => Err(NetError::Codec(format!("invalid DriverMsg tag {tag}"))),
         }
@@ -244,6 +378,8 @@ impl Payload for DriverMsg {
         match self {
             DriverMsg::Run(spec) => 1 + spec.size_hint(),
             DriverMsg::Fallback { spec, parts, .. } => 1 + 8 + spec.size_hint() + 8 + 8 * parts.len(),
+            DriverMsg::Admit { addr, .. } => 1 + 4 + 8 + addr.len() + 8,
+            DriverMsg::Metrics => 1,
             DriverMsg::Shutdown => 1,
         }
     }
@@ -264,6 +400,13 @@ pub enum ExecMsg {
     JobErr {
         /// Job id.
         id: u64,
+        /// The reporting rank.
+        rank: u32,
+        /// The view generation the rank was running under.
+        view_gen: u64,
+        /// Ranks this executor's transport currently considers dead —
+        /// the driver's raw material for deciding membership.
+        dead_peers: Vec<u32>,
         /// Human-readable cause (a [`NetError`] rendering).
         error: String,
     },
@@ -274,11 +417,27 @@ pub enum ExecMsg {
         /// The full local aggregator.
         agg: Vec<f64>,
     },
+    /// Reply to [`DriverMsg::Admit`]: whether the dial to the re-admitted
+    /// rank succeeded (`error` empty) or why not.
+    AdmitOk {
+        /// The re-admitted rank that was dialed.
+        rank: u32,
+        /// Empty on success; the dial failure otherwise.
+        error: String,
+    },
+    /// Reply to [`DriverMsg::Metrics`]: flattened recovery metrics
+    /// (counters as `(name, value)`; histograms as `name.count`/`name.sum`).
+    Metrics {
+        /// The metric pairs.
+        pairs: Vec<(String, u64)>,
+    },
 }
 
 const TAG_JOB_OK: u8 = 1;
 const TAG_JOB_ERR: u8 = 2;
 const TAG_FALLBACK_OK: u8 = 3;
+const TAG_ADMIT_OK: u8 = 4;
+const TAG_METRICS_REPLY: u8 = 5;
 
 impl Payload for ExecMsg {
     fn encode_into(&self, enc: &mut Encoder) {
@@ -292,15 +451,31 @@ impl Payload for ExecMsg {
                     enc.put_bytes(bytes);
                 }
             }
-            ExecMsg::JobErr { id, error } => {
+            ExecMsg::JobErr { id, rank, view_gen, dead_peers, error } => {
                 enc.put_u8(TAG_JOB_ERR);
                 enc.put_u64(*id);
+                enc.put_u32(*rank);
+                enc.put_u64(*view_gen);
+                enc.put_u32_slice(dead_peers);
                 enc.put_str(error);
             }
             ExecMsg::FallbackOk { id, agg } => {
                 enc.put_u8(TAG_FALLBACK_OK);
                 enc.put_u64(*id);
                 enc.put_f64_slice(agg);
+            }
+            ExecMsg::AdmitOk { rank, error } => {
+                enc.put_u8(TAG_ADMIT_OK);
+                enc.put_u32(*rank);
+                enc.put_str(error);
+            }
+            ExecMsg::Metrics { pairs } => {
+                enc.put_u8(TAG_METRICS_REPLY);
+                enc.put_usize(pairs.len());
+                for (name, value) in pairs {
+                    enc.put_str(name);
+                    enc.put_u64(*value);
+                }
             }
         }
     }
@@ -318,9 +493,26 @@ impl Payload for ExecMsg {
                 }
                 Ok(ExecMsg::JobOk { id, segments })
             }
-            TAG_JOB_ERR => Ok(ExecMsg::JobErr { id: dec.get_u64()?, error: dec.get_string()? }),
+            TAG_JOB_ERR => Ok(ExecMsg::JobErr {
+                id: dec.get_u64()?,
+                rank: dec.get_u32()?,
+                view_gen: dec.get_u64()?,
+                dead_peers: dec.get_u32_vec()?,
+                error: dec.get_string()?,
+            }),
             TAG_FALLBACK_OK => {
                 Ok(ExecMsg::FallbackOk { id: dec.get_u64()?, agg: dec.get_f64_vec()? })
+            }
+            TAG_ADMIT_OK => Ok(ExecMsg::AdmitOk { rank: dec.get_u32()?, error: dec.get_string()? }),
+            TAG_METRICS_REPLY => {
+                let count = dec.get_usize()?;
+                let mut pairs = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let name = dec.get_string()?;
+                    let value = dec.get_u64()?;
+                    pairs.push((name, value));
+                }
+                Ok(ExecMsg::Metrics { pairs })
             }
             tag => Err(NetError::Codec(format!("invalid ExecMsg tag {tag}"))),
         }
@@ -331,8 +523,14 @@ impl Payload for ExecMsg {
             ExecMsg::JobOk { segments, .. } => {
                 1 + 8 + 8 + segments.iter().map(|(_, b)| 8 + 8 + b.len()).sum::<usize>()
             }
-            ExecMsg::JobErr { error, .. } => 1 + 8 + 8 + error.len(),
+            ExecMsg::JobErr { dead_peers, error, .. } => {
+                1 + 8 + 4 + 8 + 8 + 4 * dead_peers.len() + 8 + error.len()
+            }
             ExecMsg::FallbackOk { agg, .. } => 1 + 8 + 8 + 8 * agg.len(),
+            ExecMsg::AdmitOk { error, .. } => 1 + 4 + 8 + error.len(),
+            ExecMsg::Metrics { pairs } => {
+                1 + 8 + pairs.iter().map(|(n, _)| 8 + n.len() + 8).sum::<usize>()
+            }
         }
     }
 }
@@ -408,12 +606,16 @@ fn segment_len(dim: usize, count: usize) -> usize {
     dim.div_ceil(count.max(1))
 }
 
-fn mesh_infos(n: usize) -> Vec<ExecutorInfo> {
-    (0..n)
-        .map(|i| ExecutorInfo {
-            id: ExecutorId(i as u32),
-            host: format!("proc-{i:03}"),
-            node: i,
+/// Ring infos over `members` (absolute ranks ascending). ExecutorIds are the
+/// absolute ranks, so transport addressing is unchanged while ring positions
+/// compact to `0..members.len()`.
+fn member_infos(members: &[u32]) -> Vec<ExecutorInfo> {
+    members
+        .iter()
+        .map(|&m| ExecutorInfo {
+            id: ExecutorId(m),
+            host: format!("proc-{m:03}"),
+            node: m as usize,
             cores: 1,
         })
         .collect()
@@ -426,7 +628,17 @@ fn mesh_infos(n: usize) -> Vec<ExecutorInfo> {
 /// Joins the cluster at `driver_addr` and serves jobs until the driver sends
 /// [`DriverMsg::Shutdown`] (or hangs up). The executor-process main loop.
 pub fn run_executor(driver_addr: &str, join_timeout: Duration) -> NetResult<()> {
-    let joined = rendezvous::join(driver_addr, join_timeout)?;
+    run_executor_with(driver_addr, join_timeout, TcpConfig::default())
+}
+
+/// [`run_executor`] with explicit transport tunables (heartbeat cadence,
+/// reconnect budget — the chaos harness shortens everything).
+pub fn run_executor_with(
+    driver_addr: &str,
+    join_timeout: Duration,
+    cfg: TcpConfig,
+) -> NetResult<()> {
+    let joined = rendezvous::join_with(driver_addr, join_timeout, cfg)?;
     serve(joined)
 }
 
@@ -441,39 +653,148 @@ pub fn serve(mut joined: Joined) -> NetResult<()> {
             Err(NetError::Disconnected) => return Ok(()),
             Err(e) => return Err(e),
         };
-        match DriverMsg::from_frame(payload)? {
-            DriverMsg::Run(spec) => {
-                let reply = run_job(&joined, &spec);
-                joined.control.send(&reply.to_frame())?;
-            }
+        let reply = match DriverMsg::from_frame(payload)? {
+            DriverMsg::Run(spec) => run_job(&joined, &spec),
             DriverMsg::Fallback { id, spec, parts } => {
-                let agg = local_aggregate(&spec, &parts);
-                joined.control.send(&ExecMsg::FallbackOk { id, agg }.to_frame())?;
+                ExecMsg::FallbackOk { id, agg: local_aggregate(&spec, &parts) }
             }
+            DriverMsg::Admit { rank, addr, generation: _ } => {
+                let error = match admit_dial(&joined, rank, &addr) {
+                    Ok(()) => String::new(),
+                    Err(e) => e.to_string(),
+                };
+                ExecMsg::AdmitOk { rank, error }
+            }
+            DriverMsg::Metrics => ExecMsg::Metrics { pairs: flattened_metrics() },
             DriverMsg::Shutdown => return Ok(()),
+        };
+        // A reply that can't be delivered means the driver hung up or
+        // evicted us mid-job — either way there is nobody left to serve,
+        // which is a clean exit, not an executor fault.
+        if joined.control.send(&reply.to_frame()).is_err() {
+            return Ok(());
         }
+    }
+}
+
+/// Dials a re-admitted rank's fresh listener (driver `Admit` step: only
+/// ranks above the rejoiner do this, preserving the mesh dial direction) and
+/// installs the socket as the new link.
+fn admit_dial(joined: &Joined, rank: u32, addr: &str) -> NetResult<()> {
+    if rank as usize >= joined.rank {
+        return Err(NetError::InvalidAddress(format!(
+            "admit of rank {rank} at rank {}: only higher ranks dial",
+            joined.rank
+        )));
+    }
+    let sa: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| NetError::InvalidAddress(format!("admit address {addr:?}: {e}")))?;
+    let mut stream =
+        std::net::TcpStream::connect_timeout(&sa, joined.cfg.connect_timeout).map_err(|e| {
+            NetError::Io(format!("dialing re-admitted rank {rank} at {addr}: {e}"))
+        })?;
+    stream.set_nodelay(true).map_err(frame::io_to_net)?;
+    let preamble = rendezvous::peer_preamble(joined.rank as u32);
+    frame::write_frame(
+        &mut stream,
+        pool::global(),
+        joined.rank as u32,
+        frame::CONTROL_CHANNEL,
+        &preamble,
+    )?;
+    joined.transport.install_peer(rank as usize, stream, Some(addr.to_string()))
+}
+
+/// Flattens the local metric registry for the driver: counters and gauges as
+/// `(name, value)`, histograms as `name.count` / `name.sum`.
+fn flattened_metrics() -> Vec<(String, u64)> {
+    let mut pairs = Vec::new();
+    for m in metrics::snapshot() {
+        match m.value {
+            MetricValue::Counter(v) => pairs.push((m.name, v)),
+            MetricValue::Gauge(v) => pairs.push((m.name, v.max(0) as u64)),
+            MetricValue::Histogram(count, sum, _) => {
+                pairs.push((format!("{}.count", m.name), count));
+                pairs.push((format!("{}.sum", m.name), sum));
+            }
+        }
+    }
+    pairs
+}
+
+/// How long an executor waits for links to view members to come up before
+/// declaring them in a [`ExecMsg::JobErr`] — covers the re-admission race
+/// where the driver's `Admit` dials are still in flight.
+const MEMBER_LINK_GRACE: Duration = Duration::from_millis(1_000);
+
+fn job_err(joined: &Joined, spec: &JobSpec, error: String) -> ExecMsg {
+    ExecMsg::JobErr {
+        id: spec.id,
+        rank: joined.rank as u32,
+        view_gen: spec.view.generation,
+        dead_peers: joined.transport.dead_peers().iter().map(|&r| r as u32).collect(),
+        error,
     }
 }
 
 fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
     let rank = joined.rank;
     let n = joined.n;
+    // The founding protocol shipped no view; treat empty as "all ranks".
+    let members: Vec<u32> = if spec.view.members.is_empty() {
+        (0..n as u32).collect()
+    } else {
+        spec.view.members.clone()
+    };
+    let Some(position) = members.iter().position(|&m| m as usize == rank) else {
+        return job_err(
+            joined,
+            spec,
+            format!("rank {rank} is not in view {} {:?}", spec.view.generation, members),
+        );
+    };
     if spec.assigned.len() != n || spec.parallelism > joined.channels {
-        return ExecMsg::JobErr {
-            id: spec.id,
-            error: format!(
+        return job_err(
+            joined,
+            spec,
+            format!(
                 "spec shape mismatch: {} assignments for {n} ranks, P={} over {} channels",
                 spec.assigned.len(),
                 spec.parallelism,
                 joined.channels
             ),
-        };
+        );
+    }
+    // Wait briefly for links to every view member: a just-readmitted peer's
+    // dial may still be in flight when the first Run of the new view lands.
+    let grace = Instant::now() + MEMBER_LINK_GRACE;
+    for &m in &members {
+        let m = m as usize;
+        if m == rank {
+            continue;
+        }
+        while joined.transport.peer_is_dead(m) && Instant::now() < grace {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if joined.transport.peer_is_dead(m) {
+            let detail = joined
+                .transport
+                .peer_error(m)
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "dead".into());
+            return job_err(joined, spec, format!("view member {m} is down: {detail}"));
+        }
     }
     let agg = local_aggregate(spec, &spec.assigned[rank]);
 
-    let ring = Arc::new(RingTopology::new(mesh_infos(n), RingOrder::ById, spec.parallelism));
+    let ring = Arc::new(RingTopology::new(
+        member_infos(&members),
+        RingOrder::ById,
+        spec.parallelism,
+    ));
     let net: Arc<dyn Transport> = joined.transport.clone();
-    let comm = RingComm::new(net, ring, rank)
+    let comm = RingComm::new(net, ring, position)
         .with_epoch(spec.id, spec.attempt)
         .with_recv_deadline(Duration::from_millis(spec.recv_deadline_ms));
 
@@ -484,16 +805,23 @@ fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
         for ch in 0..spec.parallelism {
             let _ = comm.send_next(ch, ByteBuf::from_static(b"stale attempt-0 frame"));
         }
-        return ExecMsg::JobErr { id: spec.id, error: "injected failure (fail_rank)".into() };
+        return job_err(joined, spec, "injected failure (fail_rank)".into());
     }
     // Injected death: first frame goes out, then the process vanishes
-    // mid-collective. Peers must observe Disconnected, not a hang.
+    // mid-collective. Peers must observe the death as a typed error, and the
+    // driver must re-form the ring over the survivors.
     if spec.attempt == 0 && spec.die_rank == rank as u32 {
         let _ = comm.send_next(0, ByteBuf::from_static(b"dying mid-ring"));
         std::process::exit(KILLED_EXIT_CODE);
     }
+    // Injected connection drop: sever one data-plane link right before the
+    // ring. Reconnection must heal it — the attempt may fail on a deadline,
+    // but the gang retry (same view) must succeed over the healed link.
+    if spec.attempt == 0 && spec.drop_rank == rank as u32 && spec.drop_peer != NO_RANK {
+        let _ = joined.transport.kill_connection(spec.drop_peer as usize);
+    }
 
-    let seg_count = spec.parallelism * n * spec.chunks;
+    let seg_count = spec.parallelism * members.len() * spec.chunks;
     let result: NetResult<Vec<(u64, ByteBuf)>> = if spec.sparse {
         let segs: Vec<DenseOrSparse> = split_segments(&agg, seg_count)
             .into_iter()
@@ -529,7 +857,7 @@ fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
 
     match result {
         Ok(segments) => ExecMsg::JobOk { id: spec.id, segments },
-        Err(e) => ExecMsg::JobErr { id: spec.id, error: e.to_string() },
+        Err(e) => job_err(joined, spec, e.to_string()),
     }
 }
 
@@ -550,30 +878,47 @@ pub struct JobOutcome {
     pub wire_segments: usize,
     /// Encoded segment bytes gathered from executors (ring path only).
     pub result_bytes: u64,
+    /// The membership view generation the result was produced under.
+    pub view_generation: u64,
+    /// Ring size of the successful attempt (0 on the fallback path).
+    pub ring_size: usize,
 }
 
-/// The multi-process driver: owns the control connections, dispatches jobs,
-/// decides between gang retry and tree fallback.
+/// The multi-process driver: owns the control connections and the membership
+/// view, dispatches jobs, and decides between gang retry, survivor-ring
+/// re-formation, and tree fallback (in that order).
 pub struct MultiProcDriver {
     controls: Vec<Option<ControlConn>>,
+    /// The current membership view (generation bumps on every change).
+    view: MembershipView,
     /// Gang attempts before giving up on the ring path.
     pub max_attempts: u32,
     /// How long to wait for each executor's reply to a job.
     pub reply_timeout: Duration,
+    /// The last ring-attempt failure seen by [`MultiProcDriver::run_job`]
+    /// (diagnostics: why a job needed retries or the fallback).
+    pub last_ring_error: String,
+    /// `(dialer rank, error)` for every failed [`DriverMsg::Admit`] dial in
+    /// the most recent [`MultiProcDriver::try_readmit`].
+    pub last_admit_errors: Vec<(usize, String)>,
 }
 
 impl MultiProcDriver {
     /// Wraps the control connections returned by
     /// [`rendezvous::Coordinator::wait_for`].
     pub fn new(controls: Vec<ControlConn>) -> Self {
+        let n = controls.len();
         Self {
             controls: controls.into_iter().map(Some).collect(),
+            view: MembershipView::full(n),
             max_attempts: 4,
             reply_timeout: Duration::from_secs(60),
+            last_ring_error: String::new(),
+            last_admit_errors: Vec::new(),
         }
     }
 
-    /// Total executors the cluster started with.
+    /// Total executor ranks the cluster started with.
     pub fn size(&self) -> usize {
         self.controls.len()
     }
@@ -581,6 +926,11 @@ impl MultiProcDriver {
     /// Ranks whose control connection is still alive.
     pub fn alive(&self) -> Vec<usize> {
         (0..self.controls.len()).filter(|&r| self.controls[r].is_some()).collect()
+    }
+
+    /// The current membership view.
+    pub fn view(&self) -> &MembershipView {
+        &self.view
     }
 
     fn send_to(&mut self, rank: usize, msg: &DriverMsg) {
@@ -609,43 +959,100 @@ impl MultiProcDriver {
         result
     }
 
-    /// Runs one job to completion: gang attempts over the ring while every
-    /// executor lives, tree fallback once one has died. `Err` only when no
-    /// exact result can be produced at all.
-    pub fn run_job(&mut self, base: &JobSpec) -> Result<JobOutcome, String> {
-        let n = self.size();
+    /// Publishes a new view if the live set changed since the last one.
+    /// Death is confirmed *only* by control-connection loss — a transport
+    /// that is merely reconnecting does not evict anyone.
+    fn refresh_view(&mut self) {
+        let members: Vec<u32> = self.alive().iter().map(|&r| r as u32).collect();
+        if members != self.view.members {
+            self.view.generation += 1;
+            self.view.members = members;
+            count_view_change();
+        }
+    }
+
+    /// Runs one job to completion: gang attempts over the ring (re-formed
+    /// over survivors whenever the membership view changes), then the tree
+    /// fallback as last resort. `Err` only when no exact result can be
+    /// produced at all.
+    pub fn run_job(&mut self, base: &JobSpec) -> EngineResult<JobOutcome> {
+        let n_total = self.size();
         let mut attempts = 0;
-        while attempts < self.max_attempts && self.alive().len() == n {
+        let mut last_err = String::new();
+        while attempts < self.max_attempts {
+            self.refresh_view();
+            let gang = self.alive();
+            if gang.is_empty() {
+                break;
+            }
             let mut spec = base.clone();
             spec.attempt = attempts;
-            spec.assigned = assign_parts(base.total_parts, &(0..n).collect::<Vec<_>>(), n);
+            spec.view = self.view.clone();
+            spec.assigned = assign_parts(base.total_parts, &gang, n_total);
             attempts += 1;
-            for rank in 0..n {
+            if attempts > 1 {
+                count_ring_retry();
+            }
+            for &rank in &gang {
                 self.send_to(rank, &DriverMsg::Run(spec.clone()));
             }
             let mut oks: Vec<Vec<(u64, ByteBuf)>> = Vec::new();
-            for rank in 0..n {
+            let mut failures: Vec<String> = Vec::new();
+            for &rank in &gang {
                 match self.recv_from(rank) {
                     Some(ExecMsg::JobOk { id, segments }) if id == spec.id => oks.push(segments),
-                    Some(_) | None => {}
+                    Some(ExecMsg::JobErr { id, rank: r, view_gen, dead_peers, error })
+                        if id == spec.id =>
+                    {
+                        failures.push(format!(
+                            "rank {r} (view {view_gen}, dead peers {dead_peers:?}): {error}"
+                        ));
+                    }
+                    Some(other) => {
+                        failures.push(format!("rank {rank}: unexpected reply {other:?}"));
+                    }
+                    None => {
+                        failures.push(format!("rank {rank}: control connection lost"));
+                    }
                 }
             }
-            if oks.len() == n {
-                let (value, wire_segments, result_bytes) = assemble(base, n, oks)?;
+            if let Some(f) = failures.last() {
+                last_err = f.clone();
+            }
+            self.last_ring_error = failures.join("; ");
+            if oks.len() == gang.len() {
+                let (value, wire_segments, result_bytes) =
+                    assemble(base, gang.len(), oks).map_err(|reason| {
+                        EngineError::TaskFailed {
+                            stage: job_stage(base.id, self.view.generation),
+                            task: gang[0],
+                            attempts,
+                            reason,
+                        }
+                    })?;
                 return Ok(JobOutcome {
                     value,
                     attempts,
                     used_fallback: false,
                     wire_segments,
                     result_bytes,
+                    view_generation: self.view.generation,
+                    ring_size: gang.len(),
                 });
             }
         }
 
         // Tree fallback: survivors recompute everything from lineage.
+        count_fallback();
+        self.refresh_view();
         let survivors = self.alive();
         if survivors.is_empty() {
-            return Err(format!("job {}: no executors left for fallback", base.id));
+            return Err(EngineError::TaskFailed {
+                stage: job_stage(base.id, self.view.generation),
+                task: 0,
+                attempts,
+                reason: format!("no executors left for fallback (last error: {last_err})"),
+            });
         }
         let assigned = assign_parts(base.total_parts, &survivors, self.size());
         for &rank in &survivors {
@@ -665,10 +1072,12 @@ impl MultiProcDriver {
                     aggs.push(agg);
                 }
                 other => {
-                    return Err(format!(
-                        "job {}: fallback reply from rank {rank} was {other:?}",
-                        base.id
-                    ));
+                    return Err(EngineError::TaskFailed {
+                        stage: job_stage(base.id, self.view.generation),
+                        task: rank,
+                        attempts: attempts + 1,
+                        reason: format!("fallback reply was {other:?}"),
+                    });
                 }
             }
         }
@@ -678,7 +1087,88 @@ impl MultiProcDriver {
             used_fallback: true,
             wire_segments: 0,
             result_bytes: 0,
+            view_generation: self.view.generation,
+            ring_size: 0,
         })
+    }
+
+    /// Checks the rendezvous listener for a replacement executor and, if one
+    /// arrived and a rank is vacant, re-admits it: the newcomer takes the
+    /// lowest dead rank, dials the live lower ranks itself (during its
+    /// `REJOIN` join), and live higher ranks are told to dial it. Returns
+    /// the re-admitted rank, or `None` if nobody knocked within `wait`.
+    pub fn try_readmit(
+        &mut self,
+        coordinator: &mut Coordinator,
+        wait: Duration,
+    ) -> EngineResult<Option<usize>> {
+        let deadline = Instant::now() + wait;
+        let (stream, addr) = loop {
+            match coordinator.poll_hello().map_err(EngineError::Net)? {
+                Some(hello) => break hello,
+                None => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        let Some(rank) = (0..self.size()).find(|&r| self.controls[r].is_none()) else {
+            // No vacancy: drop the socket, the newcomer's join will fail.
+            return Ok(None);
+        };
+        let live = self.alive();
+        let control = coordinator
+            .readmit(stream, addr.clone(), rank, &live)
+            .map_err(EngineError::Net)?;
+        self.controls[rank] = Some(control);
+        // Live higher ranks dial the rejoiner (mesh rule: higher dials
+        // lower's listener... reversed here: the rejoiner dialed lower live
+        // ranks during its join; higher ranks dial its kept listener now).
+        let next_gen = self.view.generation + 1;
+        let dialers: Vec<usize> = live.iter().copied().filter(|&r| r > rank).collect();
+        for &r in &dialers {
+            self.send_to(
+                r,
+                &DriverMsg::Admit {
+                    rank: rank as u32,
+                    addr: addr.clone(),
+                    generation: next_gen,
+                },
+            );
+        }
+        self.last_admit_errors.clear();
+        for &r in &dialers {
+            match self.recv_from(r) {
+                Some(ExecMsg::AdmitOk { error, .. }) if error.is_empty() => {}
+                Some(ExecMsg::AdmitOk { error, .. }) => {
+                    // The dial failed; the link stays down and the next job
+                    // will surface it as a typed error. Not fatal here.
+                    self.last_admit_errors.push((r, error));
+                }
+                Some(other) => self.last_admit_errors.push((r, format!("unexpected {other:?}"))),
+                None => self.last_admit_errors.push((r, "control connection lost".into())),
+            }
+        }
+        count_readmission();
+        // The next run_job's refresh_view publishes the bumped generation.
+        Ok(Some(rank))
+    }
+
+    /// Gathers flattened recovery metrics from every live executor.
+    pub fn collect_metrics(&mut self) -> Vec<(usize, Vec<(String, u64)>)> {
+        let live = self.alive();
+        for &rank in &live {
+            self.send_to(rank, &DriverMsg::Metrics);
+        }
+        let mut out = Vec::new();
+        for &rank in &live {
+            if let Some(ExecMsg::Metrics { pairs }) = self.recv_from(rank) {
+                out.push((rank, pairs));
+            }
+        }
+        out
     }
 
     /// Sends a clean shutdown to every surviving executor.
@@ -687,6 +1177,10 @@ impl MultiProcDriver {
             self.send_to(rank, &DriverMsg::Shutdown);
         }
     }
+}
+
+fn job_stage(id: u64, generation: u64) -> String {
+    format!("multiproc job {id} (view {generation})")
 }
 
 /// Round-robins partitions over `ranks`, returning a per-rank (of `n_total`)
@@ -701,13 +1195,14 @@ fn assign_parts(total_parts: usize, ranks: &[usize], n_total: usize) -> Vec<Vec<
 }
 
 /// Reassembles gathered segments into the full vector, checking that every
-/// global index arrived exactly once.
+/// global index arrived exactly once. `ring_size` is the member count of the
+/// view the job ran under (segment layout depends on it).
 fn assemble(
     spec: &JobSpec,
-    n: usize,
+    ring_size: usize,
     replies: Vec<Vec<(u64, ByteBuf)>>,
 ) -> Result<(Vec<f64>, usize, u64), String> {
-    let seg_count = spec.parallelism * n * spec.chunks;
+    let seg_count = spec.parallelism * ring_size * spec.chunks;
     let seg_len = segment_len(spec.dim, seg_count);
     let mut value = vec![0.0; spec.dim];
     let mut seen = vec![false; seg_count];
@@ -780,7 +1275,7 @@ mod tests {
     /// Spins up a driver plus `n` executor threads joined over real loopback
     /// TCP, runs `jobs` through them, and returns the outcomes.
     fn run_cluster(n: usize, channels: usize, jobs: Vec<JobSpec>) -> Vec<JobOutcome> {
-        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
         let addr = coordinator.local_addr().unwrap().to_string();
         let mut execs = Vec::new();
         for _ in 0..n {
@@ -809,6 +1304,8 @@ mod tests {
         assert_eq!(o.attempts, 1);
         assert!(!o.used_fallback);
         assert_eq!(o.wire_segments, 2 * 3 * 2);
+        assert_eq!(o.ring_size, 3);
+        assert_eq!(o.view_generation, 0);
         assert_eq!(bits(&o.value), bits(&oracle(&spec)));
     }
 
@@ -839,6 +1336,21 @@ mod tests {
         let o = &outcomes[0];
         assert_eq!(o.attempts, 2, "attempt 0 must fail, attempt 1 succeed");
         assert!(!o.used_fallback);
+        assert_eq!(o.view_generation, 0, "a transient failure must not change the view");
+        assert_eq!(bits(&o.value), bits(&oracle(&spec)));
+    }
+
+    #[test]
+    fn injected_connection_drop_heals_without_view_change() {
+        let mut spec = JobSpec::dense(41, 0xD401, 2048, 6);
+        spec.drop_rank = 1;
+        spec.drop_peer = 0;
+        spec.recv_deadline_ms = 1_500;
+        let outcomes = run_cluster(3, 2, vec![spec.clone()]);
+        let o = &outcomes[0];
+        assert!(!o.used_fallback, "reconnection must heal the drop, not fallback");
+        assert_eq!(o.view_generation, 0, "a healed drop must not change the view");
+        assert_eq!(o.ring_size, 3);
         assert_eq!(bits(&o.value), bits(&oracle(&spec)));
     }
 
@@ -847,9 +1359,12 @@ mod tests {
         let spec = JobSpec::sparse(7, 9, 100, 4, 0.5);
         let mut with_assign = spec.clone();
         with_assign.assigned = vec![vec![0, 3], vec![1], vec![2]];
+        with_assign.view = MembershipView { generation: 3, members: vec![0, 2, 3] };
         for msg in [
             DriverMsg::Run(with_assign.clone()),
             DriverMsg::Fallback { id: 7, spec: with_assign, parts: vec![0, 1, 2, 3] },
+            DriverMsg::Admit { rank: 2, addr: "127.0.0.1:4444".into(), generation: 5 },
+            DriverMsg::Metrics,
             DriverMsg::Shutdown,
         ] {
             let back = DriverMsg::from_frame(msg.to_frame()).unwrap();
@@ -860,8 +1375,18 @@ mod tests {
                 id: 1,
                 segments: vec![(0, ByteBuf::from_static(b"seg0")), (5, ByteBuf::new())],
             },
-            ExecMsg::JobErr { id: 2, error: "peer disconnected".into() },
+            ExecMsg::JobErr {
+                id: 2,
+                rank: 1,
+                view_gen: 4,
+                dead_peers: vec![0, 2],
+                error: "peer disconnected".into(),
+            },
             ExecMsg::FallbackOk { id: 3, agg: vec![1.0, 2.0, 3.0] },
+            ExecMsg::AdmitOk { rank: 2, error: String::new() },
+            ExecMsg::Metrics {
+                pairs: vec![("net.reconnect.healed".into(), 2), ("x".into(), 0)],
+            },
         ] {
             let frame = msg.to_frame();
             assert_eq!(frame.len(), msg.size_hint(), "size_hint must be exact");
@@ -877,6 +1402,19 @@ mod tests {
                 }
                 _ => assert_eq!(back, msg),
             }
+        }
+    }
+
+    #[test]
+    fn membership_view_roundtrips() {
+        for view in [
+            MembershipView::full(4),
+            MembershipView { generation: 9, members: vec![1, 3] },
+            MembershipView { generation: 0, members: Vec::new() },
+        ] {
+            let back = MembershipView::from_frame(view.to_frame()).unwrap();
+            assert_eq!(back, view);
+            assert_eq!(view.to_frame().len(), view.size_hint());
         }
     }
 

@@ -28,6 +28,17 @@ pub enum NetError {
     /// text; connection-terminating errors are mapped to
     /// [`NetError::Disconnected`] instead.
     Io(String),
+    /// A peer was declared lost by the failure detector: heartbeat suspicion
+    /// or a socket failure that reconnection (DESIGN.md §5h) could not heal
+    /// within its retry budget. Unlike [`NetError::Disconnected`] — which a
+    /// transport with reconnection enabled treats as transient — this is
+    /// terminal: the rank stays dead until the membership layer re-admits it.
+    PeerLost {
+        /// The rank of the lost peer.
+        rank: u32,
+        /// Why the detector gave up (last underlying error + budget state).
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -39,6 +50,7 @@ impl fmt::Display for NetError {
             NetError::Codec(msg) => write!(f, "codec error: {msg}"),
             NetError::InvalidAddress(msg) => write!(f, "invalid address: {msg}"),
             NetError::Io(msg) => write!(f, "io error: {msg}"),
+            NetError::PeerLost { rank, detail } => write!(f, "peer {rank} lost: {detail}"),
         }
     }
 }
@@ -68,6 +80,10 @@ mod tests {
         assert_eq!(
             NetError::Io("connection refused".into()).to_string(),
             "io error: connection refused"
+        );
+        assert_eq!(
+            NetError::PeerLost { rank: 2, detail: "no heartbeat for 3s".into() }.to_string(),
+            "peer 2 lost: no heartbeat for 3s"
         );
     }
 

@@ -79,6 +79,12 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 /// The channel index reserved for rendezvous/control traffic, never valid
 /// for data-plane sends (data channels are `0..channels`).
 pub const CONTROL_CHANNEL: u32 = u32::MAX;
+/// The channel index reserved for the heartbeat protocol
+/// ([`crate::tcp::health`]). Heartbeat frames are consumed by the IO thread
+/// itself and never reach an inbox; like [`CONTROL_CHANNEL`], the value sits
+/// far above any valid data channel so a collision with data traffic is a
+/// typed [`NetError::Codec`], not a misroute.
+pub const HEARTBEAT_CHANNEL: u32 = u32::MAX - 1;
 /// The `from` value used by endpoints that have no rank yet (rendezvous
 /// hello) or stand outside the mesh (the driver).
 pub const UNRANKED: u32 = u32::MAX;

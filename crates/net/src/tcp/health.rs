@@ -1,0 +1,273 @@
+//! Per-connection heartbeat protocol: proactive failure detection for the
+//! TCP transport.
+//!
+//! A closed socket announces itself (EOF, reset), but a *hung* peer — a
+//! SIGSTOP'd process, a livelocked executor, a half-open connection after a
+//! network partition — looks exactly like silence. Without a liveness
+//! protocol, the only backstop is each collective's receive deadline, which
+//! turns every straggler into a full-deadline stall. This module adds the
+//! missing signal: the IO thread exchanges tiny PING/PONG beats on the
+//! reserved [`super::frame::HEARTBEAT_CHANNEL`] and tracks, per connection,
+//! when the peer was last heard from *at all* (any inbound bytes count, so a
+//! busy data-plane link never pays heartbeat overhead beyond the timer
+//! check).
+//!
+//! The per-connection state machine (normative spec: DESIGN.md §5h):
+//!
+//! ```text
+//! Alive --silence > suspicion--> Suspect --reconnect armed--> Reconnecting
+//!   ^                               |                              |
+//!   |                               +--no reconnect--> Dead        |
+//!   +------- first inbound bytes on the reinstalled socket --------+
+//!                    (Reconnecting --budget exhausted--> Dead)
+//! ```
+//!
+//! "Suspect" is momentary from the IO thread's point of view: the instant
+//! silence exceeds the suspicion timeout it tears the connection down, which
+//! either enters the reconnection path ([`super::ReconnectConfig`]) or —
+//! when reconnection is not armed — declares [`NetError::PeerLost`]
+//! immediately. SIGCONT'd stragglers therefore heal: their listener keeps
+//! accepting while frozen, the re-dial lands in its backlog, and the first
+//! frames after wake-up flip the link back to Alive.
+//!
+//! Each PING carries a sender-side microsecond stamp which the PONG echoes
+//! verbatim; the sender's `now - stamp` is a full application-level RTT
+//! (wire + both poll loops) and feeds the `net.heartbeat.rtt_us` histogram.
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use sparker_obs::metrics::{self, Counter, Histogram};
+
+use crate::error::{NetError, NetResult};
+
+/// Heartbeat tuning knobs, part of [`super::TcpConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Heartbeats on/off. Off, failure detection degrades to socket errors
+    /// and collective deadlines (the pre-§5h behaviour).
+    pub enabled: bool,
+    /// How often a PING is sent on an otherwise configured connection.
+    pub interval: Duration,
+    /// Silence (no inbound bytes of any kind) after which the peer is
+    /// suspected and the connection torn down. Must comfortably exceed
+    /// `interval` (the default ratio is 12x).
+    pub suspicion: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            interval: Duration::from_millis(250),
+            suspicion: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Wire tag for a heartbeat request.
+const TAG_PING: u8 = 1;
+/// Wire tag for a heartbeat reply.
+const TAG_PONG: u8 = 2;
+/// Encoded beat size: tag + seq + stamp.
+pub const BEAT_LEN: usize = 1 + 8 + 8;
+
+/// One heartbeat message: `Ping` asks, `Pong` echoes.
+///
+/// `stamp` is opaque to the receiver of a `Ping` — it echoes it back
+/// unchanged — and is the sender's monotonic-epoch microsecond clock, so the
+/// RTT needs no clock sync between processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Beat {
+    /// "Are you alive?" — `seq` increments per connection incarnation.
+    Ping {
+        /// Per-connection sequence number.
+        seq: u64,
+        /// Sender's send-time stamp (µs on its own monotonic epoch).
+        stamp: u64,
+    },
+    /// "Yes" — both fields echoed from the PING.
+    Pong {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Echoed stamp, from which the pinger computes RTT.
+        stamp: u64,
+    },
+}
+
+impl Beat {
+    /// Fixed-size encoding: `tag u8 | seq u64 LE | stamp u64 LE`.
+    pub fn encode(&self) -> [u8; BEAT_LEN] {
+        let (tag, seq, stamp) = match *self {
+            Beat::Ping { seq, stamp } => (TAG_PING, seq, stamp),
+            Beat::Pong { seq, stamp } => (TAG_PONG, seq, stamp),
+        };
+        let mut out = [0u8; BEAT_LEN];
+        out[0] = tag;
+        out[1..9].copy_from_slice(&seq.to_le_bytes());
+        out[9..17].copy_from_slice(&stamp.to_le_bytes());
+        out
+    }
+
+    /// Decodes a heartbeat payload; anything malformed is a typed
+    /// [`NetError::Codec`] (a corrupt reserved-channel frame poisons the
+    /// connection just like a corrupt data frame).
+    pub fn decode(payload: &[u8]) -> NetResult<Self> {
+        if payload.len() != BEAT_LEN {
+            return Err(NetError::Codec(format!(
+                "heartbeat payload is {} bytes, want {BEAT_LEN}",
+                payload.len()
+            )));
+        }
+        let seq = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+        let stamp = u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes"));
+        match payload[0] {
+            TAG_PING => Ok(Beat::Ping { seq, stamp }),
+            TAG_PONG => Ok(Beat::Pong { seq, stamp }),
+            tag => Err(NetError::Codec(format!("invalid heartbeat tag {tag}"))),
+        }
+    }
+}
+
+/// Per-connection liveness tracking, owned by the IO thread.
+#[derive(Debug)]
+pub struct HealthState {
+    /// Last instant any inbound bytes arrived on this connection.
+    last_heard: Instant,
+    /// Last instant a PING was queued.
+    last_ping: Instant,
+    /// Next PING sequence number.
+    next_seq: u64,
+}
+
+impl HealthState {
+    /// Fresh state for a just-(re)installed connection: the install counts
+    /// as having heard from the peer, so suspicion starts from zero.
+    pub fn new(now: Instant) -> Self {
+        Self { last_heard: now, last_ping: now, next_seq: 0 }
+    }
+
+    /// Records inbound bytes (any frame, not just beats).
+    pub fn heard(&mut self, now: Instant) {
+        self.last_heard = now;
+    }
+
+    /// Returns the PING due at `now` (carrying `stamp`, the caller's µs
+    /// clock), if the interval has elapsed.
+    pub fn maybe_ping(&mut self, now: Instant, stamp: u64, cfg: &HealthConfig) -> Option<Beat> {
+        if now.duration_since(self.last_ping) < cfg.interval {
+            return None;
+        }
+        self.last_ping = now;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(Beat::Ping { seq, stamp })
+    }
+
+    /// Whether the peer has been silent past the suspicion timeout.
+    pub fn suspect(&self, now: Instant, cfg: &HealthConfig) -> bool {
+        now.duration_since(self.last_heard) > cfg.suspicion
+    }
+
+    /// How long the peer has been silent (for error messages).
+    pub fn silence(&self, now: Instant) -> Duration {
+        now.duration_since(self.last_heard)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: recovery counters + the RTT histogram. Handles are cached
+// (the registry takes a lock) because these run on the IO hot loop.
+// ---------------------------------------------------------------------------
+
+fn cached(cell: &'static OnceLock<Arc<Counter>>, name: &'static str) -> &'static Arc<Counter> {
+    cell.get_or_init(|| metrics::counter(name))
+}
+
+/// `net.heartbeat.rtt_us`: PING→PONG round-trip, observed by the pinger.
+pub fn observe_rtt(us: u64) {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| metrics::histogram("net.heartbeat.rtt_us")).observe(us);
+}
+
+/// `net.heartbeat.suspicions`: peers suspected after heartbeat silence.
+pub fn count_suspicion() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    cached(&C, "net.heartbeat.suspicions").add(1);
+}
+
+/// `net.reconnect.attempts`: reconnection rounds started (dial or
+/// accept-window, both directions count).
+pub fn count_reconnect_attempt() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    cached(&C, "net.reconnect.attempts").add(1);
+}
+
+/// `net.reconnect.healed`: connections that came back — first inbound bytes
+/// observed on a reinstalled socket.
+pub fn count_reconnect_healed() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    cached(&C, "net.reconnect.healed").add(1);
+}
+
+/// `net.reconnect.exhausted`: peers declared [`NetError::PeerLost`] after
+/// the retry budget ran out.
+pub fn count_reconnect_exhausted() {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    cached(&C, "net.reconnect.exhausted").add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_roundtrip() {
+        for beat in [
+            Beat::Ping { seq: 0, stamp: 0 },
+            Beat::Ping { seq: u64::MAX, stamp: 1 },
+            Beat::Pong { seq: 7, stamp: u64::MAX },
+        ] {
+            assert_eq!(Beat::decode(&beat.encode()).unwrap(), beat);
+        }
+    }
+
+    #[test]
+    fn malformed_beats_are_typed_errors() {
+        assert!(matches!(Beat::decode(b""), Err(NetError::Codec(_))));
+        assert!(matches!(Beat::decode(&[TAG_PING; 5]), Err(NetError::Codec(_))));
+        let mut bad = Beat::Ping { seq: 1, stamp: 2 }.encode();
+        bad[0] = 9;
+        assert!(matches!(Beat::decode(&bad), Err(NetError::Codec(_))));
+        let mut long = [0u8; BEAT_LEN + 1];
+        long[0] = TAG_PONG;
+        assert!(matches!(Beat::decode(&long), Err(NetError::Codec(_))));
+    }
+
+    #[test]
+    fn ping_cadence_and_suspicion() {
+        let cfg = HealthConfig {
+            enabled: true,
+            interval: Duration::from_millis(10),
+            suspicion: Duration::from_millis(35),
+        };
+        let t0 = Instant::now();
+        let mut hs = HealthState::new(t0);
+        assert!(hs.maybe_ping(t0, 0, &cfg).is_none(), "no ping before the interval");
+        let t1 = t0 + Duration::from_millis(10);
+        let Some(Beat::Ping { seq: 0, .. }) = hs.maybe_ping(t1, 0, &cfg) else {
+            panic!("ping due at interval");
+        };
+        assert!(hs.maybe_ping(t1, 0, &cfg).is_none(), "one ping per interval");
+        let Some(Beat::Ping { seq: 1, .. }) = hs.maybe_ping(t1 + Duration::from_millis(10), 0, &cfg)
+        else {
+            panic!("seq increments");
+        };
+        // Silence grows past suspicion...
+        assert!(!hs.suspect(t0 + Duration::from_millis(35), &cfg));
+        assert!(hs.suspect(t0 + Duration::from_millis(36), &cfg));
+        // ...unless *any* inbound bytes reset it.
+        hs.heard(t0 + Duration::from_millis(30));
+        assert!(!hs.suspect(t0 + Duration::from_millis(60), &cfg));
+    }
+}

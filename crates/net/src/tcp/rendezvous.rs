@@ -1,10 +1,11 @@
-//! Rendezvous: rank assignment and mesh establishment for TCP clusters.
+//! Rendezvous: rank assignment, mesh establishment, and re-admission for
+//! TCP clusters.
 //!
 //! A Sparker cluster over real sockets needs three things before the first
 //! collective can run: every executor needs a **rank**, every executor needs
 //! every peer's **listen address**, and the full **mesh** of peer sockets
 //! must be dialed. This module implements the handshake, specified
-//! normatively in DESIGN.md §5g:
+//! normatively in DESIGN.md §5g/§5h:
 //!
 //! 1. The driver binds a listener ([`Coordinator::bind`]) and its address is
 //!    handed to each executor process (command line, in our launcher).
@@ -21,6 +22,22 @@
 //!    bound before any `HELLO` is sent, all dials land in a bound listener's
 //!    backlog and nothing deadlocks.
 //!
+//! The executor's listener is *kept* after the mesh is up: it moves into the
+//! transport's [`super::ReconnectCtx`] so severed links can heal by re-dial
+//! (DESIGN.md §5h).
+//!
+//! # Re-admission
+//!
+//! A replacement executor for a dead rank says `HELLO` like any newcomer;
+//! the driver notices it between jobs ([`Coordinator::poll_hello`]) and
+//! answers `REJOIN(rank, n, channels, addrs, live)` instead of a `WELCOME`
+//! ([`Coordinator::readmit`]). The rejoiner dials only the *live* lower
+//! ranks; live higher ranks are told by the driver (an `Admit` control
+//! message, one layer up in `engine::multiproc`) to dial the rejoiner's
+//! fresh listener, whose address rode in the `HELLO`. Links to still-dead
+//! ranks simply stay down. The rejoined executor participates from the next
+//! membership view the driver publishes.
+//!
 //! All control traffic uses the same wire frames as the data plane
 //! ([`frame`]) on the reserved [`frame::CONTROL_CHANNEL`], so one codec (and
 //! one property suite) covers the whole socket surface.
@@ -35,7 +52,7 @@ use crate::error::{NetError, NetResult};
 use crate::pool;
 
 use super::frame::{self, io_to_net, CONTROL_CHANNEL, UNRANKED};
-use super::TcpTransport;
+use super::{ReconnectCtx, TcpConfig, TcpTransport};
 
 /// Control-payload tag: executor → driver, "my listener is at `addr`".
 const TAG_HELLO: u8 = 1;
@@ -43,12 +60,35 @@ const TAG_HELLO: u8 = 1;
 const TAG_WELCOME: u8 = 2;
 /// Control-payload tag: mesh-dial preamble identifying the dialing rank.
 const TAG_PEER: u8 = 3;
+/// Control-payload tag: driver → executor, re-admission to a vacated rank.
+const TAG_REJOIN: u8 = 4;
 
 /// How often pending accepts/connects are re-polled during rendezvous.
 const POLL: Duration = Duration::from_millis(5);
 
 fn timeout_err(what: &str) -> NetError {
     NetError::Io(format!("rendezvous timed out waiting for {what}"))
+}
+
+/// Encodes the `PEER(rank)` mesh-dial preamble. Shared with the transport's
+/// reconnect dials and the engine's re-admission (`Admit`) dials, which must
+/// identify themselves the same way.
+pub fn peer_preamble(rank: u32) -> ByteBuf {
+    let mut enc = Encoder::new();
+    enc.put_u8(TAG_PEER);
+    enc.put_u32(rank);
+    enc.finish()
+}
+
+/// Parses a `PEER(rank)` preamble payload; anything else is a typed
+/// [`NetError::Codec`].
+pub(crate) fn parse_peer_preamble(payload: &ByteBuf) -> NetResult<u32> {
+    let mut dec = Decoder::new(payload.clone());
+    let tag = dec.get_u8()?;
+    if tag != TAG_PEER {
+        return Err(NetError::Codec(format!("expected PEER tag, got {tag}")));
+    }
+    dec.get_u32()
 }
 
 /// A blocking, framed control connection between the driver and one
@@ -75,9 +115,17 @@ impl ControlConn {
     }
 }
 
-/// Driver side: accepts executor hellos and assigns ranks.
+/// Driver side: accepts executor hellos, assigns ranks, and re-admits
+/// replacements for dead ranks.
 pub struct Coordinator {
     listener: TcpListener,
+    /// Mesh parameters, recorded by [`Self::wait_for`] for later
+    /// re-admissions.
+    n: usize,
+    channels: usize,
+    /// Listen addresses by rank, updated when a rank is re-admitted at a new
+    /// address.
+    addrs: Vec<String>,
 }
 
 impl Coordinator {
@@ -85,7 +133,7 @@ impl Coordinator {
     /// ephemeral loopback port).
     pub fn bind(addr: &str) -> NetResult<Self> {
         let listener = TcpListener::bind(addr).map_err(io_to_net)?;
-        Ok(Self { listener })
+        Ok(Self { listener, n: 0, channels: 0, addrs: Vec::new() })
     }
 
     /// The address executors must be pointed at.
@@ -93,29 +141,28 @@ impl Coordinator {
         self.listener.local_addr().map_err(io_to_net)
     }
 
+    /// The recorded listen address of `rank`, if the mesh is formed.
+    pub fn addr_of(&self, rank: usize) -> Option<&str> {
+        self.addrs.get(rank).map(String::as_str)
+    }
+
     /// Waits until `n` executors have said hello, assigns ranks 0..n in
     /// arrival order, sends each its welcome, and returns the control
-    /// connections indexed by rank.
-    pub fn wait_for(&self, n: usize, channels: usize, timeout: Duration) -> NetResult<Vec<ControlConn>> {
+    /// connections indexed by rank. Records the mesh parameters for later
+    /// [`Self::readmit`] calls.
+    pub fn wait_for(
+        &mut self,
+        n: usize,
+        channels: usize,
+        timeout: Duration,
+    ) -> NetResult<Vec<ControlConn>> {
         let deadline = Instant::now() + timeout;
         self.listener.set_nonblocking(true).map_err(io_to_net)?;
         let mut joined: Vec<(TcpStream, String)> = Vec::with_capacity(n);
         while joined.len() < n {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    stream.set_nonblocking(false).map_err(io_to_net)?;
-                    stream.set_nodelay(true).map_err(io_to_net)?;
-                    let mut stream = stream;
-                    stream
-                        .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now()).max(POLL)))
-                        .map_err(io_to_net)?;
-                    let hello = frame::read_frame(&mut stream, pool::global())?;
-                    let mut dec = Decoder::new(hello.payload);
-                    let tag = dec.get_u8()?;
-                    if tag != TAG_HELLO {
-                        return Err(NetError::Codec(format!("expected HELLO tag, got {tag}")));
-                    }
-                    let addr = dec.get_string()?;
+                    let (stream, addr) = read_hello(stream, deadline)?;
                     joined.push((stream, addr));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -146,8 +193,86 @@ impl Coordinator {
             frame::write_frame(&mut stream, pool::global(), UNRANKED, CONTROL_CHANNEL, &payload)?;
             conns.push(ControlConn { stream, peer: rank as u32 });
         }
+        self.n = n;
+        self.channels = channels;
+        self.addrs = addrs;
         Ok(conns)
     }
+
+    /// Non-blocking check for a newcomer `HELLO` — a replacement executor
+    /// asking to be re-admitted. Returns its (blocking) socket and listen
+    /// address; the caller decides which dead rank it fills and completes
+    /// the handshake with [`Self::readmit`].
+    pub fn poll_hello(&mut self) -> NetResult<Option<(TcpStream, String)>> {
+        self.listener.set_nonblocking(true).map_err(io_to_net)?;
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                let got = read_hello(stream, Instant::now() + Duration::from_secs(5))?;
+                Ok(Some(got))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(io_to_net(e)),
+        }
+    }
+
+    /// Completes a re-admission: assigns the newcomer (from
+    /// [`Self::poll_hello`]) the vacated `rank`, records its fresh listen
+    /// address, and sends `REJOIN(rank, n, channels, addrs, live)`. `live`
+    /// lists the ranks currently alive (excluding `rank` itself); the
+    /// rejoiner dials the live lower ranks, and the caller must tell live
+    /// higher ranks to dial the rejoiner (the `Admit` step, one layer up).
+    pub fn readmit(
+        &mut self,
+        mut stream: TcpStream,
+        addr: String,
+        rank: usize,
+        live: &[usize],
+    ) -> NetResult<ControlConn> {
+        if self.n == 0 {
+            return Err(NetError::InvalidAddress(
+                "readmit before the initial mesh was formed".into(),
+            ));
+        }
+        if rank >= self.n {
+            return Err(NetError::InvalidAddress(format!(
+                "readmit rank {rank} outside mesh of {}",
+                self.n
+            )));
+        }
+        self.addrs[rank] = addr;
+        let mut enc = Encoder::new();
+        enc.put_u8(TAG_REJOIN);
+        enc.put_u32(rank as u32);
+        enc.put_usize(self.n);
+        enc.put_usize(self.channels);
+        enc.put_usize(self.addrs.len());
+        for a in &self.addrs {
+            enc.put_str(a);
+        }
+        let live32: Vec<u32> = live.iter().map(|&r| r as u32).collect();
+        enc.put_u32_slice(&live32);
+        let payload = enc.finish();
+        frame::write_frame(&mut stream, pool::global(), UNRANKED, CONTROL_CHANNEL, &payload)?;
+        Ok(ControlConn { stream, peer: rank as u32 })
+    }
+}
+
+/// Reads the `HELLO` off a freshly-accepted rendezvous socket.
+fn read_hello(stream: TcpStream, deadline: Instant) -> NetResult<(TcpStream, String)> {
+    stream.set_nonblocking(false).map_err(io_to_net)?;
+    stream.set_nodelay(true).map_err(io_to_net)?;
+    let mut stream = stream;
+    stream
+        .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now()).max(POLL)))
+        .map_err(io_to_net)?;
+    let hello = frame::read_frame(&mut stream, pool::global())?;
+    let mut dec = Decoder::new(hello.payload);
+    let tag = dec.get_u8()?;
+    if tag != TAG_HELLO {
+        return Err(NetError::Codec(format!("expected HELLO tag, got {tag}")));
+    }
+    let addr = dec.get_string()?;
+    Ok((stream, addr))
 }
 
 /// An executor's fully-established cluster membership.
@@ -158,15 +283,28 @@ pub struct Joined {
     pub n: usize,
     /// Parallel channels per directed pair.
     pub channels: usize,
-    /// The data-plane transport over the peer mesh.
+    /// The data-plane transport over the peer mesh (reconnection armed).
     pub transport: Arc<TcpTransport>,
     /// The blocking control connection to the driver.
     pub control: ControlConn,
+    /// The transport tunables this executor runs with.
+    pub cfg: TcpConfig,
+    /// Whether this membership came from a `REJOIN` (partial mesh; links to
+    /// live higher ranks arrive via the driver's `Admit` step).
+    pub rejoined: bool,
+}
+
+/// [`join_with`] using default [`TcpConfig`] tunables.
+pub fn join(driver_addr: &str, timeout: Duration) -> NetResult<Joined> {
+    join_with(driver_addr, timeout, TcpConfig::default())
 }
 
 /// Executor side: joins the cluster at `driver_addr` and establishes the
-/// full peer mesh. Blocks until the mesh is up or `timeout` expires.
-pub fn join(driver_addr: &str, timeout: Duration) -> NetResult<Joined> {
+/// peer mesh — the full mesh on a `WELCOME`, the live-lower-ranks partial
+/// mesh on a `REJOIN`. Blocks until the mesh is up or `timeout` expires.
+/// The listener bound here is kept inside the transport for reconnection
+/// and re-admission dials.
+pub fn join_with(driver_addr: &str, timeout: Duration, cfg: TcpConfig) -> NetResult<Joined> {
     let deadline = Instant::now() + timeout;
 
     // Bind our own listener *before* hello: every peer that learns our
@@ -187,12 +325,13 @@ pub fn join(driver_addr: &str, timeout: Duration) -> NetResult<Joined> {
     driver
         .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now()).max(POLL)))
         .map_err(io_to_net)?;
-    let welcome = frame::read_frame(&mut driver, pool::global())?;
-    let mut dec = Decoder::new(welcome.payload);
+    let reply = frame::read_frame(&mut driver, pool::global())?;
+    let mut dec = Decoder::new(reply.payload);
     let tag = dec.get_u8()?;
-    if tag != TAG_WELCOME {
-        return Err(NetError::Codec(format!("expected WELCOME tag, got {tag}")));
+    if tag != TAG_WELCOME && tag != TAG_REJOIN {
+        return Err(NetError::Codec(format!("expected WELCOME or REJOIN tag, got {tag}")));
     }
+    let rejoined = tag == TAG_REJOIN;
     let rank = dec.get_u32()? as usize;
     let n = dec.get_usize()?;
     let channels = dec.get_usize()?;
@@ -204,60 +343,75 @@ pub fn join(driver_addr: &str, timeout: Duration) -> NetResult<Joined> {
     for _ in 0..n {
         addrs.push(dec.get_string()?);
     }
+    // Which lower ranks to dial: all of them on a fresh mesh, only the live
+    // ones on a rejoin (links to dead ranks stay down until re-admission).
+    let dial_lower: Vec<usize> = if rejoined {
+        let live = dec.get_u32_vec()?;
+        live.iter().map(|&r| r as usize).filter(|&j| j < rank).collect()
+    } else {
+        (0..rank).collect()
+    };
 
-    // Data-plane mesh: dial the lower ranks (with a PEER preamble), accept
-    // the higher ones. One socket per unordered pair.
+    // Data-plane mesh: dial the lower ranks (with a PEER preamble); on a
+    // fresh mesh also accept the higher ones here. One socket per unordered
+    // pair. On a rejoin the live higher ranks dial our kept listener later,
+    // once the driver's Admit reaches them.
     let mut conns: Vec<(usize, TcpStream)> = Vec::with_capacity(n.saturating_sub(1));
-    for (j, addr) in addrs.iter().enumerate().take(rank) {
-        let mut stream = connect_retry(addr, deadline)?;
+    for &j in &dial_lower {
+        let mut stream = connect_retry(&addrs[j], deadline)?;
         stream.set_nodelay(true).map_err(io_to_net)?;
-        let mut enc = Encoder::new();
-        enc.put_u8(TAG_PEER);
-        enc.put_u32(rank as u32);
-        let preamble = enc.finish();
+        let preamble = peer_preamble(rank as u32);
         frame::write_frame(&mut stream, pool::global(), rank as u32, CONTROL_CHANNEL, &preamble)?;
         conns.push((j, stream));
     }
-    listener.set_nonblocking(true).map_err(io_to_net)?;
-    while conns.len() < n - 1 {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nonblocking(false).map_err(io_to_net)?;
-                let mut stream = stream;
-                stream
-                    .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now()).max(POLL)))
-                    .map_err(io_to_net)?;
-                let preamble = frame::read_frame(&mut stream, pool::global())?;
-                let mut dec = Decoder::new(preamble.payload);
-                let tag = dec.get_u8()?;
-                if tag != TAG_PEER {
-                    return Err(NetError::Codec(format!("expected PEER tag, got {tag}")));
+    if !rejoined {
+        listener.set_nonblocking(true).map_err(io_to_net)?;
+        while conns.len() < n - 1 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).map_err(io_to_net)?;
+                    let mut stream = stream;
+                    stream
+                        .set_read_timeout(Some(
+                            deadline.saturating_duration_since(Instant::now()).max(POLL),
+                        ))
+                        .map_err(io_to_net)?;
+                    let preamble = frame::read_frame(&mut stream, pool::global())?;
+                    let j = parse_peer_preamble(&preamble.payload)? as usize;
+                    if j <= rank || j >= n {
+                        return Err(NetError::Codec(format!(
+                            "peer preamble claims rank {j}, acceptor is rank {rank} of {n}"
+                        )));
+                    }
+                    stream.set_read_timeout(None).map_err(io_to_net)?;
+                    conns.push((j, stream));
                 }
-                let j = dec.get_u32()? as usize;
-                if j <= rank || j >= n {
-                    return Err(NetError::Codec(format!(
-                        "peer preamble claims rank {j}, acceptor is rank {rank} of {n}"
-                    )));
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(timeout_err(&format!(
+                            "peer dials ({}/{} connected)",
+                            conns.len(),
+                            n - 1
+                        )));
+                    }
+                    std::thread::sleep(POLL);
                 }
-                stream.set_read_timeout(None).map_err(io_to_net)?;
-                conns.push((j, stream));
+                Err(e) => return Err(io_to_net(e)),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    return Err(timeout_err(&format!(
-                        "peer dials ({}/{} connected)",
-                        conns.len(),
-                        n - 1
-                    )));
-                }
-                std::thread::sleep(POLL);
-            }
-            Err(e) => return Err(io_to_net(e)),
         }
     }
 
-    let transport = TcpTransport::new(rank, n, channels, conns)?;
-    Ok(Joined { rank, n, channels, transport, control: ControlConn { stream: driver, peer: UNRANKED } })
+    let recon = ReconnectCtx { listener, peer_addrs: addrs };
+    let transport = TcpTransport::new_with(rank, n, channels, conns, cfg, Some(recon))?;
+    Ok(Joined {
+        rank,
+        n,
+        channels,
+        transport,
+        control: ControlConn { stream: driver, peer: UNRANKED },
+        cfg,
+        rejoined,
+    })
 }
 
 fn connect_retry(addr: &str, deadline: Instant) -> NetResult<TcpStream> {
@@ -285,7 +439,7 @@ mod tests {
     /// around the ring.
     #[test]
     fn three_way_rendezvous_builds_a_working_mesh() {
-        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
         let addr = coordinator.local_addr().unwrap().to_string();
         let n = 3;
         let mut joiners = Vec::new();
@@ -295,6 +449,7 @@ mod tests {
                 let mut joined = join(&addr, Duration::from_secs(10)).unwrap();
                 let (rank, size) = (joined.rank, joined.n);
                 assert_eq!(size, 3);
+                assert!(!joined.rejoined);
                 // Ring exchange: send to (rank+1) % n, receive from prev.
                 let next = ExecutorId(((rank + 1) % size) as u32);
                 let prev = ((rank + size - 1) % size) as u32;
@@ -329,8 +484,32 @@ mod tests {
 
     #[test]
     fn wait_for_times_out_without_executors() {
-        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
         let err = coordinator.wait_for(2, 1, Duration::from_millis(50)).unwrap_err();
         assert!(matches!(err, NetError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn readmit_before_mesh_is_typed_error() {
+        let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        // A dummy socket to hand in: dial our own listener.
+        let addr = coordinator.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let err = coordinator
+            .readmit(stream, "127.0.0.1:1".into(), 0, &[])
+            .unwrap_err();
+        assert!(matches!(err, NetError::InvalidAddress(_)), "{err:?}");
+    }
+
+    /// Peer preamble helpers round-trip and reject garbage.
+    #[test]
+    fn peer_preamble_roundtrip() {
+        let p = peer_preamble(7);
+        assert_eq!(parse_peer_preamble(&p).unwrap(), 7);
+        let mut enc = Encoder::new();
+        enc.put_u8(TAG_HELLO);
+        enc.put_u32(7);
+        let bad = enc.finish();
+        assert!(matches!(parse_peer_preamble(&bad), Err(NetError::Codec(_))));
     }
 }

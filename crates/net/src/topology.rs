@@ -11,7 +11,9 @@
 
 use std::fmt;
 
-/// Globally unique executor identifier, dense in `0..num_executors`.
+/// Globally unique executor identifier. Founding clusters assign ids dense
+/// in `0..num_executors`; after a failure a surviving ring keeps the
+/// original (now sparse) ids so transport addressing is unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExecutorId(pub u32);
 
@@ -58,7 +60,8 @@ pub enum RingOrder {
 pub struct RingTopology {
     /// `order[rank]` is the executor occupying that ring position.
     order: Vec<ExecutorInfo>,
-    /// `rank_of[executor.index()]` is that executor's ring rank.
+    /// `rank_of[executor.index()]` is that executor's ring rank
+    /// (`usize::MAX` marks ids absent from this ring — survivor views).
     rank_of: Vec<usize>,
     /// Number of parallel channels per hop (the "P" in PDR).
     parallelism: usize,
@@ -66,11 +69,13 @@ pub struct RingTopology {
 
 impl RingTopology {
     /// Builds a ring over `executors` with the given rank policy and
-    /// channel parallelism.
+    /// channel parallelism. Ids need not be dense: a ring over the
+    /// survivors of a failed membership keeps the original ids (so the
+    /// transport keeps addressing the same peers) while ring positions
+    /// compact to `0..len`.
     ///
     /// # Panics
-    /// Panics if `executors` is empty, ids are not dense `0..n`, or
-    /// `parallelism == 0`.
+    /// Panics if `executors` is empty, ids repeat, or `parallelism == 0`.
     pub fn new(mut executors: Vec<ExecutorInfo>, order: RingOrder, parallelism: usize) -> Self {
         assert!(!executors.is_empty(), "ring needs at least one executor");
         assert!(parallelism > 0, "PDR parallelism must be >= 1");
@@ -80,11 +85,10 @@ impl RingTopology {
             }
             RingOrder::ById => executors.sort_by_key(|e| e.id),
         }
-        let n = executors.len();
-        let mut rank_of = vec![usize::MAX; n];
+        let max_idx = executors.iter().map(|e| e.id.index()).max().unwrap_or(0);
+        let mut rank_of = vec![usize::MAX; max_idx + 1];
         for (rank, e) in executors.iter().enumerate() {
             let idx = e.id.index();
-            assert!(idx < n, "executor ids must be dense 0..n (got {})", e.id);
             assert!(rank_of[idx] == usize::MAX, "duplicate executor id {}", e.id);
             rank_of[idx] = rank;
         }
@@ -107,8 +111,13 @@ impl RingTopology {
     }
 
     /// The ring rank of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member of this ring.
     pub fn rank_of(&self, id: ExecutorId) -> usize {
-        self.rank_of[id.index()]
+        let rank = self.rank_of.get(id.index()).copied().unwrap_or(usize::MAX);
+        assert!(rank != usize::MAX, "executor {id} is not in this ring");
+        rank
     }
 
     /// Rank this rank sends to.
@@ -248,6 +257,32 @@ mod tests {
         assert_eq!(ring.next(0), 0);
         assert_eq!(ring.prev(0), 0);
         assert_eq!(ring.inter_node_hops(), 0);
+    }
+
+    #[test]
+    fn survivor_ring_keeps_sparse_ids() {
+        // Executor 1 of a 4-wide cluster died: the survivor ring keeps ids
+        // {0, 2, 3} (transport addressing unchanged) at positions 0..3.
+        let execs: Vec<ExecutorInfo> = round_robin_layout(1, 4, 1)
+            .into_iter()
+            .filter(|e| e.id.0 != 1)
+            .collect();
+        let ring = RingTopology::new(execs, RingOrder::ById, 2);
+        assert_eq!(ring.size(), 3);
+        assert_eq!(ring.executor_at(0).id.0, 0);
+        assert_eq!(ring.executor_at(1).id.0, 2);
+        assert_eq!(ring.executor_at(2).id.0, 3);
+        assert_eq!(ring.rank_of(ExecutorId(3)), 2);
+        assert_eq!(ring.next(2), 0, "the ring closes over the survivors");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in this ring")]
+    fn rank_of_nonmember_panics() {
+        let execs: Vec<ExecutorInfo> =
+            round_robin_layout(1, 3, 1).into_iter().filter(|e| e.id.0 != 1).collect();
+        let ring = RingTopology::new(execs, RingOrder::ById, 1);
+        ring.rank_of(ExecutorId(1));
     }
 
     #[test]

@@ -18,15 +18,24 @@
 //!   payload yields [`NetError::Codec`] (or, for length-field bits, a
 //!   benign "need more bytes" — the checksum catches the rest when they
 //!   arrive), never a panic, never a silently wrong frame.
+//!
+//! The heartbeat layer (§5h) rides the same framing on a reserved channel,
+//! so its obligations are pinned here too: beats roundtrip for any
+//! `(seq, stamp)`, malformed beats are typed [`NetError::Codec`], and the
+//! reserved channel ids can never collide with a data channel.
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 
 use sparker_net::error::NetError;
 use sparker_net::tcp::frame::{
-    encode_pooled, read_frame, write_frame, FrameReader, HEADER_LEN, MAGIC,
+    encode_pooled, read_frame, write_frame, FrameReader, CONTROL_CHANNEL, HEADER_LEN,
+    HEARTBEAT_CHANNEL, MAGIC,
 };
-use sparker_net::FramePool;
+use sparker_net::tcp::health::{Beat, BEAT_LEN};
+use sparker_net::tcp::TcpTransport;
+use sparker_net::transport::Transport;
+use sparker_net::{ByteBuf, ExecutorId, FramePool};
 use sparker_testkit::{check, tk_assert, tk_assert_eq, Config, PropError, Source};
 
 fn cfg() -> Config {
@@ -214,4 +223,88 @@ fn header_constants_match_design_doc() {
     // tests of `sparker_net::tcp::frame`.
     assert_eq!(MAGIC.to_le_bytes(), *b"TKPS"); // "SPKT" read back little-endian
     assert_eq!(HEADER_LEN, 24);
+}
+
+#[test]
+fn heartbeat_beats_roundtrip_any_seq_stamp() {
+    check(&cfg(), |src| {
+        let (seq, stamp) = (src.u64_any(), src.u64_any());
+        let beat =
+            if src.bool_any() { Beat::Ping { seq, stamp } } else { Beat::Pong { seq, stamp } };
+        let wire = beat.encode();
+        tk_assert_eq!(wire.len(), BEAT_LEN, "beats are fixed-size");
+        let back = Beat::decode(&wire).map_err(|e| PropError::new(e.to_string()))?;
+        tk_assert_eq!(back, beat, "beat survives encode/decode");
+        Ok(())
+    });
+}
+
+#[test]
+fn malformed_beats_fail_typed() {
+    check(&cfg(), |src| {
+        let beat = Beat::Ping { seq: src.u64_any(), stamp: src.u64_any() };
+        let wire = beat.encode();
+
+        // Any length other than BEAT_LEN is a typed codec error: truncations
+        // and over-long payloads alike.
+        let cut = src.usize_in(0..BEAT_LEN as usize);
+        tk_assert!(
+            matches!(Beat::decode(&wire[..cut]), Err(NetError::Codec(_))),
+            "truncated beat must fail typed"
+        );
+        let mut long = wire.to_vec();
+        long.extend_from_slice(&[0; 3]);
+        tk_assert!(
+            matches!(Beat::decode(&long), Err(NetError::Codec(_))),
+            "over-long beat must fail typed"
+        );
+
+        // An unknown tag byte is rejected; the seq/stamp bytes are opaque
+        // u64s, so only the tag can make a right-sized beat malformed.
+        let mut bad = wire;
+        bad[0] = src.u8_any();
+        match Beat::decode(&bad) {
+            Ok(got) => tk_assert!(
+                matches!(got, Beat::Ping { .. } | Beat::Pong { .. }) && bad[0] <= 2,
+                "only the two real tags may decode"
+            ),
+            Err(NetError::Codec(_)) => {}
+            Err(e) => {
+                return Err(PropError::new(format!("bad tag must be Codec, got {e:?}")));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn reserved_channels_never_collide_with_data_channels() {
+    // The control plane and the heartbeat plane each own a reserved channel
+    // id at the top of the u32 space; they must stay distinct from each
+    // other...
+    assert_ne!(CONTROL_CHANNEL, HEARTBEAT_CHANNEL);
+    assert_eq!(CONTROL_CHANNEL, u32::MAX);
+    assert_eq!(HEARTBEAT_CHANNEL, u32::MAX - 1);
+
+    // ...and unreachable from user code: a transport rejects sends and
+    // receives on any channel at or beyond its configured width, so no data
+    // frame can ever be addressed to a reserved id.
+    let (a, b) = TcpTransport::pair_loopback(2).unwrap();
+    for reserved in [CONTROL_CHANNEL as usize, HEARTBEAT_CHANNEL as usize] {
+        let sent = a.send(ExecutorId(0), ExecutorId(1), reserved, ByteBuf::from_static(b"x"));
+        assert!(
+            matches!(sent, Err(NetError::InvalidAddress(_))),
+            "send on reserved channel {reserved} must be rejected, got {sent:?}"
+        );
+        let got = b.recv_timeout(
+            ExecutorId(1),
+            ExecutorId(0),
+            reserved,
+            std::time::Duration::from_millis(50),
+        );
+        assert!(
+            matches!(got, Err(NetError::InvalidAddress(_))),
+            "recv on reserved channel {reserved} must be rejected, got {got:?}"
+        );
+    }
 }

@@ -1,0 +1,160 @@
+//! Self-healing transport integration tests (DESIGN.md §5h): reconnection
+//! with backoff heals severed links without data loss, the epoch fence stays
+//! sound across a heal, heartbeat suspicion flags silent peers, and a spent
+//! retry budget terminates in a typed [`NetError::PeerLost`] — never a hang.
+//!
+//! Obs counters are process-global and shared by every test in this binary,
+//! so assertions use before/after deltas rather than absolute values.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sparker_collectives::RingComm;
+use sparker_net::tcp::{ReconnectConfig, TcpConfig, TcpTransport};
+use sparker_net::topology::{round_robin_layout, RingOrder, RingTopology};
+use sparker_net::transport::Transport;
+use sparker_net::{ByteBuf, ExecutorId, NetError};
+use sparker_obs::metrics;
+
+/// Tunables scaled for tests: sub-second suspicion, fast dial rounds.
+fn fast_cfg() -> TcpConfig {
+    let mut cfg = TcpConfig::default();
+    cfg.health.interval = Duration::from_millis(25);
+    cfg.health.suspicion = Duration::from_millis(400);
+    cfg.reconnect = ReconnectConfig {
+        max_rounds: 6,
+        backoff_base: Duration::from_millis(20),
+        backoff_cap: Duration::from_millis(100),
+        accept_window: Duration::from_millis(500),
+    };
+    cfg
+}
+
+fn counter(name: &str) -> u64 {
+    metrics::counter(name).get()
+}
+
+#[test]
+fn severed_link_heals_without_losing_queued_frames() {
+    let (a, b) = TcpTransport::pair_loopback_with(1, fast_cfg()).unwrap();
+    let healed_before = counter("net.reconnect.healed");
+
+    // Prove the link works, then sever it from rank 0's side.
+    a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"before")).unwrap();
+    let got = b.recv_timeout(ExecutorId(1), ExecutorId(0), 0, Duration::from_secs(5)).unwrap();
+    assert_eq!(&got[..], b"before");
+    a.kill_connection(1).unwrap();
+
+    // A frame queued while the link is down must survive into the healed
+    // socket (asynchronous sends promise eventual delivery while the peer
+    // lives).
+    a.send(ExecutorId(0), ExecutorId(1), 0, ByteBuf::from_static(b"after heal")).unwrap();
+    let got = b.recv_timeout(ExecutorId(1), ExecutorId(0), 0, Duration::from_secs(10)).unwrap();
+    assert_eq!(&got[..], b"after heal");
+
+    // Reconnection, not eviction: neither side ever declared the other dead.
+    assert!(!a.peer_is_dead(1), "transient drop must not kill peer 1");
+    assert!(!b.peer_is_dead(0), "transient drop must not kill peer 0");
+    assert!(
+        counter("net.reconnect.healed") > healed_before,
+        "a heal must be counted in net.reconnect.healed"
+    );
+}
+
+#[test]
+fn epoch_fence_discards_stale_frames_across_reconnect() {
+    let (a, b) = TcpTransport::pair_loopback_with(1, fast_cfg()).unwrap();
+    let ring = Arc::new(RingTopology::new(round_robin_layout(1, 2, 1), RingOrder::ById, 1));
+
+    // Attempt 0 leaves a frame in flight, then the link is severed — the
+    // gang-retry scenario, with a reconnect in the middle.
+    let stale = RingComm::new(a.clone() as Arc<dyn Transport>, ring.clone(), 0).with_epoch(7, 0);
+    stale.send_to_rank(1, 0, ByteBuf::from_static(b"stale attempt-0 segment")).unwrap();
+    a.kill_connection(1).unwrap();
+
+    // Attempt 1 runs over the healed socket. The receiver's fence must skip
+    // the attempt-0 frame (redelivered from the out-queue after the heal)
+    // and hand over only the fresh payload.
+    let fresh = RingComm::new(a.clone() as Arc<dyn Transport>, ring.clone(), 0).with_epoch(7, 1);
+    fresh.send_to_rank(1, 0, ByteBuf::from_static(b"fresh attempt-1 segment")).unwrap();
+
+    let rx = RingComm::new(b.clone() as Arc<dyn Transport>, ring, 1).with_epoch(7, 1);
+    let got = rx.recv_from_rank_timeout(0, 0, Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        &got[..],
+        b"fresh attempt-1 segment",
+        "the epoch fence must discard the pre-reconnect attempt-0 frame"
+    );
+}
+
+#[test]
+fn silent_peer_is_suspected_and_declared_lost() {
+    // A raw socket that never speaks models a SIGSTOP'd executor: the
+    // connection stays open but heartbeats go unanswered. Without
+    // reconnection armed, suspicion is terminal.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let _mute = TcpStream::connect(addr).unwrap();
+    let (accepted, _) = listener.accept().unwrap();
+
+    let mut cfg = TcpConfig::default();
+    cfg.health.interval = Duration::from_millis(10);
+    cfg.health.suspicion = Duration::from_millis(80);
+    let suspicions_before = counter("net.heartbeat.suspicions");
+    let t = TcpTransport::new_with(0, 2, 1, vec![(1, accepted)], cfg, None).unwrap();
+
+    let err = t
+        .recv_timeout(ExecutorId(0), ExecutorId(1), 0, Duration::from_secs(5))
+        .expect_err("a mute peer must be detected, not waited on");
+    match err {
+        NetError::PeerLost { rank, .. } => assert_eq!(rank, 1),
+        other => panic!("want PeerLost for the silent peer, got {other:?}"),
+    }
+    assert!(t.peer_is_dead(1));
+    assert!(
+        counter("net.heartbeat.suspicions") > suspicions_before,
+        "the detection must be counted in net.heartbeat.suspicions"
+    );
+}
+
+#[test]
+fn spent_reconnect_budget_is_typed_peer_lost() {
+    let mut cfg = fast_cfg();
+    cfg.health.interval = Duration::from_millis(20);
+    cfg.health.suspicion = Duration::from_millis(200);
+    cfg.reconnect = ReconnectConfig {
+        max_rounds: 3,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(40),
+        accept_window: Duration::from_millis(100),
+    };
+    let (a, b) = TcpTransport::pair_loopback_with(1, cfg).unwrap();
+    let exhausted_before = counter("net.reconnect.exhausted");
+
+    // Rank 1 vanishes for good — transport, socket, and listener all gone,
+    // so rank 0 (the accepting side of this pair) burns accept windows until
+    // the budget is spent.
+    drop(b);
+
+    let err = a
+        .recv_timeout(ExecutorId(0), ExecutorId(1), 0, Duration::from_secs(10))
+        .expect_err("a permanently-dead peer must exhaust the budget");
+    match &err {
+        NetError::PeerLost { rank, detail } => {
+            assert_eq!(*rank, 1);
+            assert!(
+                detail.contains("budget exhausted"),
+                "detail should name the spent budget, got: {detail}"
+            );
+        }
+        other => panic!("want PeerLost after budget exhaustion, got {other:?}"),
+    }
+    assert!(a.peer_is_dead(1));
+    assert!(matches!(a.peer_error(1), Some(NetError::PeerLost { .. })));
+    assert_eq!(a.dead_peers(), vec![1]);
+    assert!(
+        counter("net.reconnect.exhausted") > exhausted_before,
+        "exhaustion must be counted in net.reconnect.exhausted"
+    );
+}

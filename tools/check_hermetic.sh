@@ -89,9 +89,17 @@ smoke run --release -p sparker-bench --bin bench_hotpath -- --smoke
 
 # 8. Multi-process smoke — launch_cluster spawns 3 real executor OS
 #    processes over localhost TCP and runs the full splitAggregate matrix
-#    (dense, sparse, injected-failure retry, executor kill → tree
-#    fallback), asserting every answer bit-exact against the oracle. A
+#    (dense, sparse, injected-failure retry, executor kill → survivor
+#    ring re-formation), asserting every answer bit-exact against the oracle. A
 #    timeout here means the socket transport or the recovery path hangs.
 smoke run --release -p sparker-bench --bin launch_cluster -- --smoke
+
+# 9. OS-level chaos smoke — chaos_cluster spawns 4 executor processes and
+#    SIGKILLs one mid-collective (--plan kill): the survivors must detect
+#    the death by heartbeat/reset, the driver must publish a new membership
+#    view, and the retry must re-form the ring over the survivors (never
+#    the tree fallback) and still match the oracle bit-for-bit. Its own
+#    watchdog exits 86 on a hang, under this step's timeout regardless.
+smoke run --release -p sparker-bench --bin chaos_cluster -- --plan kill
 
 echo "hermetic check passed: built and tested fully offline, path-only deps"

@@ -3,9 +3,10 @@
 #
 #   tier 1  hermeticity + build + full test suite, warnings denied
 #           (tools/check_hermetic.sh under RUSTFLAGS="-D warnings";
-#           check_hermetic's own steps 4-8 cover the chaos gate, trace
-#           export, sparse ablation, the hot-path perf gate, and the
-#           3-process launch_cluster smoke)
+#           check_hermetic's own steps 4-9 cover the chaos gate, trace
+#           export, sparse ablation, the hot-path perf gate, the
+#           3-process launch_cluster smoke, and the chaos_cluster
+#           kill-plan smoke)
 #   tier 2  chaos + property suites, each under an explicit wall-clock
 #           bound (a timeout means a fault path regressed into a hang)
 #   tier 3  bench smoke: the self-asserting harnesses in --smoke shape
@@ -56,6 +57,8 @@ run 2 "prop_collectives"   timeout 180 cargo test -q --offline -p sparker-repro 
 run 2 "prop_sparse"        timeout 180 cargo test -q --offline -p sparker-repro --test prop_sparse
 run 2 "prop_ml"            timeout 180 cargo test -q --offline -p sparker-repro --test prop_ml
 run 2 "prop_tcp_frames"    timeout 180 cargo test -q --offline -p sparker-repro --test prop_tcp_frames
+run 2 "tcp_reconnect"      timeout 180 cargo test -q --offline -p sparker-repro --test tcp_reconnect
+run 2 "chaos_cluster"      timeout 180 cargo run -q --offline --release -p sparker-bench --bin chaos_cluster -- --smoke
 
 # --- tier 3: bench smoke (self-asserting harnesses) ----------------------
 run 3 "bench_hotpath"      timeout 180 cargo run -q --offline --release -p sparker-bench --bin bench_hotpath -- --smoke
