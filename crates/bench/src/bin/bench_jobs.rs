@@ -1,0 +1,486 @@
+//! Multi-job scheduler load generator and fairness gate (PR 8's `BENCH_8.json`).
+//!
+//! Drives `sparker-sched` the way a serving tier would — many clients,
+//! thousands of small `split_aggregate` jobs — and asserts its own
+//! acceptance bounds, so `--smoke` doubles as CI step 10 of
+//! `tools/check_hermetic.sh`:
+//!
+//! * **throughput** — 4 client threads, closed-loop window 8, over a
+//!   4-lane [`EngineBackend`]. Every result is compared bit-for-bit
+//!   against [`EngineBackend::oracle`]; reports jobs/s and closed-loop
+//!   p50/p99/p999, asserts a jobs/s floor.
+//! * **fairness** — a bursty adversary keeps ~12 expensive jobs queued on
+//!   one lane while a well-behaved victim submits small jobs one at a
+//!   time. Under FIFO the victim's p99 sits behind the whole burst; under
+//!   fair-share (DRR) it is bounded by ~one adversary job. The bench
+//!   asserts fair-share (and strict-priority) keep victim p99 within
+//!   4x the measured mean big-job service time, and that FIFO does *not*.
+//! * **queue_full** — a bounded queue at capacity rejects with the typed
+//!   [`SchedError::QueueFull`] and recovers once drained.
+//! * **backpressure** — with the global frame pool saturated (held
+//!   buffers), a low-priority submission is shed with the typed
+//!   [`SchedError::PoolSaturated`] and admits again after release.
+//!
+//! Emits machine-readable JSON (no commit hash, no timestamps) to
+//! `results/bench_jobs.json` and the repo root `BENCH_8.json`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
+
+use sparker_bench::{print_header, Table};
+use sparker_net::pool;
+use sparker_sched::{
+    AggJob, Backend, EngineBackend, FairShare, Fifo, JobCtx, JobHandle, JobRequest, Policy,
+    Priority, SchedConfig, SchedError, Scheduler, StrictPriority,
+};
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    assert!(!sorted_us.is_empty());
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Closed-loop throughput: `clients` threads each run `jobs_per_client`
+/// small jobs with `window` outstanding, verifying every result against the
+/// serial oracle. Returns (jobs/s, sorted closed-loop latencies in us).
+fn run_throughput(
+    sched: &Scheduler<EngineBackend>,
+    clients: u32,
+    jobs_per_client: usize,
+    window: usize,
+    dim: usize,
+    parts: usize,
+) -> (f64, Vec<u64>) {
+    let t0 = Instant::now();
+    let mut lat_us: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(jobs_per_client);
+                    type Pending = VecDeque<(Instant, AggJob, JobHandle<Vec<f64>>)>;
+                    let mut pending: Pending = VecDeque::with_capacity(window);
+                    let drain = |q: &mut Pending, lat: &mut Vec<u64>| {
+                            let (sub, job, h) = q.pop_front().unwrap();
+                            let got = h.wait().expect("job runs");
+                            lat.push(sub.elapsed().as_micros() as u64);
+                            let want = EngineBackend::oracle(&job);
+                            assert_eq!(
+                                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                                "client {client} job diverged from serial oracle"
+                            );
+                        };
+                    for i in 0..jobs_per_client {
+                        let job = AggJob {
+                            seed: (client as u64) << 32 | i as u64,
+                            dim,
+                            parts,
+                        };
+                        // Bounded queue: retry QueueFull (the typed reject is
+                        // the backoff signal a serving client acts on).
+                        let h = loop {
+                            match sched.submit(JobRequest::new(client, job)) {
+                                Ok(h) => break h,
+                                Err(SchedError::QueueFull { .. }) => {
+                                    drain(&mut pending, &mut lat)
+                                }
+                                Err(e) => panic!("unexpected reject: {e}"),
+                            }
+                        };
+                        pending.push_back((Instant::now(), job, h));
+                        if pending.len() >= window {
+                            drain(&mut pending, &mut lat);
+                        }
+                    }
+                    while !pending.is_empty() {
+                        drain(&mut pending, &mut lat);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    ((clients as usize * jobs_per_client) as f64 / secs, lat_us)
+}
+
+/// Victim latencies (sorted, us) under `policy` while an adversary keeps
+/// `burst` big jobs outstanding on a single lane.
+fn run_fairness(
+    policy: Box<dyn Policy>,
+    victim_jobs: usize,
+    victim_priority: Priority,
+    burst: usize,
+    small: AggJob,
+    big: AggJob,
+) -> (Vec<u64>, u64) {
+    let backend = EngineBackend::new(1, 2, 1);
+    let cfg = SchedConfig { capacity: 64, ..SchedConfig::default() };
+    let sched = Scheduler::new(backend, policy, cfg);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Adversary: client 1, bursty — tops the queue back up the moment a
+        // big job finishes, so the victim always contends with `burst` of
+        // them.
+        let adversary = s.spawn(|| {
+            let mut done = 0u64;
+            let mut pending = VecDeque::with_capacity(burst);
+            loop {
+                while pending.len() < burst && !stop.load(Ordering::Relaxed) {
+                    let req = JobRequest {
+                        client: 1,
+                        priority: Priority::Normal,
+                        cost: 8,
+                        job: big,
+                    };
+                    pending.push_back(sched.submit(req).expect("adversary admitted"));
+                }
+                match pending.pop_front() {
+                    Some(h) => {
+                        h.wait().expect("big job runs");
+                        done += 1;
+                    }
+                    None => break,
+                }
+                if stop.load(Ordering::Relaxed) && pending.is_empty() {
+                    break;
+                }
+            }
+            done
+        });
+        // Victim: client 0, one small job at a time, each latency measured.
+        let mut lat = Vec::with_capacity(victim_jobs);
+        // Let the adversary's burst build up first.
+        while sched.queue_depth() < burst - 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for i in 0..victim_jobs {
+            let mut job = small;
+            job.seed = 0xF00D + i as u64;
+            let req = JobRequest { client: 0, priority: victim_priority, cost: 1, job };
+            let t0 = Instant::now();
+            let h = sched.submit(req).expect("victim admitted");
+            let got = h.wait().expect("victim job runs");
+            lat.push(t0.elapsed().as_micros() as u64);
+            let want = EngineBackend::oracle(&job);
+            assert_eq!(
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "victim job diverged from serial oracle under contention"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let adversary_done = adversary.join().expect("adversary thread");
+        lat.sort_unstable();
+        (lat, adversary_done)
+    })
+}
+
+/// Holds every dispatched job until opened — pins jobs in the queue so the
+/// queue-full path is deterministic, not timing-dependent.
+struct Gate {
+    open: std::sync::Mutex<bool>,
+    cv: Condvar,
+}
+
+#[derive(Clone)]
+struct GateBackend(Arc<Gate>);
+
+impl Backend for GateBackend {
+    type Job = u64;
+    type Output = u64;
+
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn run(&self, _lane: usize, _ctx: JobCtx, job: &u64) -> Result<u64, String> {
+        let mut open = self.0.open.lock().unwrap();
+        while !*open {
+            open = self.0.cv.wait(open).unwrap();
+        }
+        Ok(*job)
+    }
+}
+
+/// Minimal JSON writer (same convention as the other benches: flat schema,
+/// dependency-free).
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::from("{\n"))
+    }
+    fn field(&mut self, key: &str, value: String) -> &mut Self {
+        if !self.0.ends_with("{\n") {
+            self.0.push_str(",\n");
+        }
+        self.0.push_str(&format!("  \"{key}\": {value}"));
+        self
+    }
+    fn finish(mut self) -> String {
+        self.0.push_str("\n}\n");
+        self.0
+    }
+}
+
+fn obj(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    print_header(
+        "bench_jobs",
+        "multi-job scheduler: throughput, fairness, typed admission control",
+        "Every section asserts its own acceptance bound; --smoke is CI step 10\n\
+         of tools/check_hermetic.sh. JSON lands in results/bench_jobs.json\n\
+         and BENCH_8.json.",
+    );
+    let (jobs_per_client, floor_jobs_per_sec, victim_jobs, big_dim) = if smoke {
+        (150usize, 150.0, 10usize, 1 << 16)
+    } else {
+        (1000usize, 1000.0, 40usize, 1 << 18)
+    };
+    let clients = 4u32;
+    let small = AggJob { seed: 0, dim: 64, parts: 2 };
+    let big = AggJob { seed: 1, dim: big_dim, parts: 4 };
+    let burst = 12usize;
+
+    // --- Throughput ------------------------------------------------------
+    let sched = Scheduler::new(
+        EngineBackend::new(4, 2, 1),
+        Box::new(Fifo),
+        SchedConfig { capacity: 256, ..SchedConfig::default() },
+    );
+    let (jobs_per_sec, lat) =
+        run_throughput(&sched, clients, jobs_per_client, 8, small.dim, small.parts);
+    drop(sched);
+    let (p50, p99, p999) =
+        (percentile(&lat, 50.0), percentile(&lat, 99.0), percentile(&lat, 99.9));
+    assert!(
+        jobs_per_sec >= floor_jobs_per_sec,
+        "throughput floor: {jobs_per_sec:.0} jobs/s < {floor_jobs_per_sec:.0}"
+    );
+
+    // --- Fairness --------------------------------------------------------
+    // Calibrate the bound from the uncontended big-job service time.
+    let calib = EngineBackend::new(1, 2, 1);
+    let mut big_us = Vec::new();
+    for i in 0..3u64 {
+        let t0 = Instant::now();
+        calib
+            .run(0, JobCtx { job_id: 1 + i, epoch_ns: 1 }, &big)
+            .expect("calibration job runs");
+        big_us.push(t0.elapsed().as_micros() as u64);
+    }
+    drop(calib);
+    let big_mean_us = big_us.iter().sum::<u64>() / big_us.len() as u64;
+    let bound_us = 4 * big_mean_us;
+
+    let (fifo_lat, fifo_adv) =
+        run_fairness(Box::new(Fifo), victim_jobs, Priority::Normal, burst, small, big);
+    let (fair_lat, fair_adv) = run_fairness(
+        Box::new(FairShare::new(8)),
+        victim_jobs,
+        Priority::Normal,
+        burst,
+        small,
+        big,
+    );
+    let (strict_lat, strict_adv) = run_fairness(
+        Box::new(StrictPriority),
+        victim_jobs,
+        Priority::High,
+        burst,
+        small,
+        big,
+    );
+    let fifo_p99 = percentile(&fifo_lat, 99.0);
+    let fair_p99 = percentile(&fair_lat, 99.0);
+    let strict_p99 = percentile(&strict_lat, 99.0);
+    assert!(
+        fair_p99 <= bound_us,
+        "fair-share must bound victim p99 to ~one adversary job: {fair_p99}us > {bound_us}us"
+    );
+    assert!(
+        strict_p99 <= bound_us,
+        "strict-priority must bound a High victim's p99: {strict_p99}us > {bound_us}us"
+    );
+    assert!(
+        fifo_p99 > bound_us,
+        "FIFO should NOT hold the bound under a {burst}-deep burst: \
+         {fifo_p99}us <= {bound_us}us (adversary too cheap?)"
+    );
+
+    // --- Queue full ------------------------------------------------------
+    let gate = Arc::new(Gate { open: std::sync::Mutex::new(false), cv: Condvar::new() });
+    let qcap = 4usize;
+    let qsched = Scheduler::new(
+        GateBackend(gate.clone()),
+        Box::new(Fifo),
+        SchedConfig { capacity: qcap, ..SchedConfig::default() },
+    );
+    let first = qsched.submit(JobRequest::new(0, 0)).expect("dispatches");
+    while qsched.inflight() != 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let queued: Vec<_> = (1..=qcap as u64)
+        .map(|j| qsched.submit(JobRequest::new(0, j)).expect("fills the queue"))
+        .collect();
+    let rejected = match qsched.submit(JobRequest::new(0, 99)) {
+        Err(SchedError::QueueFull { capacity }) => {
+            assert_eq!(capacity, qcap);
+            true
+        }
+        Ok(_) => panic!("submission beyond capacity must reject"),
+        Err(e) => panic!("expected QueueFull, got {e}"),
+    };
+    *gate.open.lock().unwrap() = true;
+    gate.cv.notify_all();
+    assert_eq!(first.wait().expect("runs"), 0);
+    for (j, h) in queued.into_iter().enumerate() {
+        assert_eq!(h.wait().expect("runs"), j as u64 + 1);
+    }
+    let recovered = qsched.submit(JobRequest::new(0, 5)).expect("space again");
+    assert_eq!(recovered.wait().expect("runs"), 5);
+    drop(qsched);
+
+    // --- Backpressure ----------------------------------------------------
+    let g = pool::global();
+    let held: Vec<Vec<u8>> = (0..80).map(|_| g.acquire(1 << 20)).collect();
+    let pressure = g.pressure_permille();
+    let bsched = Scheduler::new(
+        EngineBackend::new(1, 2, 1),
+        Box::new(Fifo),
+        SchedConfig::default(),
+    );
+    let low = JobRequest { client: 0, priority: Priority::Low, cost: 1, job: small };
+    let shed = match bsched.submit(low.clone()) {
+        Err(SchedError::PoolSaturated { pressure_permille, limit_permille }) => {
+            assert!(pressure_permille >= limit_permille);
+            true
+        }
+        Ok(_) => panic!("low-priority job must shed under pool saturation"),
+        Err(e) => panic!("expected PoolSaturated, got {e}"),
+    };
+    for buf in held {
+        g.recycle_vec(buf);
+    }
+    let after = bsched.submit(low).expect("admits after release");
+    let got = after.wait().expect("runs after release");
+    let want = EngineBackend::oracle(&small);
+    assert_eq!(
+        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+    drop(bsched);
+
+    // --- Report ----------------------------------------------------------
+    let mut t = Table::new(vec!["Section", "Metric", "Value", "Bound"]);
+    t.row(vec![
+        "throughput".to_string(),
+        "jobs/s".to_string(),
+        format!("{jobs_per_sec:.0}"),
+        format!(">= {floor_jobs_per_sec:.0}"),
+    ]);
+    t.row(vec![
+        "throughput".to_string(),
+        "p50/p99/p999 us".to_string(),
+        format!("{p50}/{p99}/{p999}"),
+        "bit-exact".to_string(),
+    ]);
+    t.row(vec![
+        "fairness".to_string(),
+        "victim p99 us (fifo)".to_string(),
+        fifo_p99.to_string(),
+        format!("> {bound_us} (burst-exposed)"),
+    ]);
+    t.row(vec![
+        "fairness".to_string(),
+        "victim p99 us (fair-share)".to_string(),
+        fair_p99.to_string(),
+        format!("<= {bound_us}"),
+    ]);
+    t.row(vec![
+        "fairness".to_string(),
+        "victim p99 us (strict)".to_string(),
+        strict_p99.to_string(),
+        format!("<= {bound_us}"),
+    ]);
+    t.row(vec![
+        "admission".to_string(),
+        "queue_full / pool_shed".to_string(),
+        format!("{rejected}/{shed}"),
+        "typed".to_string(),
+    ]);
+    t.print();
+
+    let lat_obj = |l: &[u64]| {
+        obj(&[
+            ("p50_us", percentile(l, 50.0).to_string()),
+            ("p99_us", percentile(l, 99.0).to_string()),
+            ("p999_us", percentile(l, 99.9).to_string()),
+        ])
+    };
+    let mut json = Json::new();
+    json.field("bench", "\"bench_jobs\"".to_string());
+    json.field("mode", format!("\"{}\"", if smoke { "smoke" } else { "full" }));
+    json.field(
+        "throughput",
+        obj(&[
+            ("clients", clients.to_string()),
+            ("jobs_per_client", jobs_per_client.to_string()),
+            ("lanes", "4".to_string()),
+            ("dim", small.dim.to_string()),
+            ("parts", small.parts.to_string()),
+            ("jobs_per_sec", format!("{jobs_per_sec:.1}")),
+            ("p50_us", p50.to_string()),
+            ("p99_us", p99.to_string()),
+            ("p999_us", p999.to_string()),
+            ("floor_jobs_per_sec", format!("{floor_jobs_per_sec:.0}")),
+            ("bit_exact", "true".to_string()),
+        ]),
+    );
+    json.field(
+        "fairness",
+        obj(&[
+            ("burst", burst.to_string()),
+            ("victim_jobs", victim_jobs.to_string()),
+            ("big_dim", big.dim.to_string()),
+            ("big_service_mean_us", big_mean_us.to_string()),
+            ("victim_p99_bound_us", bound_us.to_string()),
+            ("fifo", lat_obj(&fifo_lat)),
+            ("fair_share", lat_obj(&fair_lat)),
+            ("strict_priority", lat_obj(&strict_lat)),
+            ("adversary_jobs_fifo", fifo_adv.to_string()),
+            ("adversary_jobs_fair", fair_adv.to_string()),
+            ("adversary_jobs_strict", strict_adv.to_string()),
+            ("fair_share_holds_bound", (fair_p99 <= bound_us).to_string()),
+            ("strict_holds_bound", (strict_p99 <= bound_us).to_string()),
+            ("fifo_breaks_bound", (fifo_p99 > bound_us).to_string()),
+        ]),
+    );
+    json.field(
+        "admission",
+        obj(&[
+            ("queue_capacity", qcap.to_string()),
+            ("queue_full_typed", rejected.to_string()),
+            ("pool_pressure_permille", pressure.to_string()),
+            ("pool_shed_typed", shed.to_string()),
+            ("recovered_after_release", "true".to_string()),
+        ]),
+    );
+    let body = json.finish();
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/bench_jobs.json", &body).expect("write results json");
+    std::fs::write("BENCH_8.json", &body).expect("write BENCH_8.json");
+    println!("\nwrote results/bench_jobs.json and BENCH_8.json");
+    println!("all scheduler bounds held");
+}

@@ -25,8 +25,8 @@
 //! job boundary via [`MultiProcDriver::try_readmit`].
 //!
 //! Modes:
-//! * `--smoke` — the deterministic five-act script (baseline, drop, freeze,
-//!   kill, re-admit) used as the CI tier-2 gate.
+//! * `--smoke` — the deterministic six-act script (baseline, drop, freeze,
+//!   kill, re-admit, scheduled view change) used as the CI tier-2 gate.
 //! * `--plan kill|stop|drop` — one fault class only; `--plan kill` is
 //!   check_hermetic step 9.
 //! * default — `--jobs N` jobs with a seeded random fault before each.
@@ -48,6 +48,7 @@ use sparker_engine::multiproc::{
 use sparker_net::tcp::rendezvous::Coordinator;
 use sparker_net::tcp::TcpConfig;
 use sparker_obs::metrics::{self, MetricValue};
+use sparker_sched::{Fifo, JobRequest, MultiProcBackend, SchedConfig, SchedError, Scheduler};
 
 const CHANNELS: usize = 2;
 /// Watchdog exit code: the run *hung* (distinct from assertion failures).
@@ -312,7 +313,7 @@ fn main() {
 
     match plan.as_deref() {
         _ if smoke => {
-            run_smoke(&mut driver, &mut cluster, &mut coordinator, execs, &watch_pids, &base)
+            driver = run_smoke(driver, &mut cluster, &mut coordinator, execs, &watch_pids, &base)
         }
         Some("kill") => run_plan_kill(&mut driver, &mut cluster, execs, &base),
         Some("stop") => run_plan_stop(&mut driver, &mut cluster, &base),
@@ -340,16 +341,18 @@ fn main() {
     );
 }
 
-/// The deterministic five-act CI script.
+/// The deterministic six-act CI script. Takes the driver by value because
+/// act 6 loans it to a [`Scheduler`] (behind the backend's shared mutex) and
+/// recovers it afterwards.
 fn run_smoke(
-    driver: &mut MultiProcDriver,
+    mut driver: MultiProcDriver,
     cluster: &mut Cluster,
     coordinator: &mut Coordinator,
     execs: usize,
     watch_pids: &Arc<Mutex<Vec<u32>>>,
     base: &dyn Fn(u64) -> JobSpec,
-) {
-    println!("\n--- smoke: baseline / drop / freeze / kill / re-admit ---");
+) -> MultiProcDriver {
+    println!("\n--- smoke: baseline / drop / freeze / kill / re-admit / scheduled view change ---");
 
     // Act 1: baseline — full ring, one attempt, founding view.
     let spec = base(1);
@@ -368,7 +371,7 @@ fn run_smoke(
     assert_eq!(o.view_generation, 0, "healing must not change membership");
     assert_eq!(o.ring_size, execs);
     check_job("drop", &o, &oracle(&spec));
-    let healed = cluster_counter(driver, "net.reconnect.healed");
+    let healed = cluster_counter(&mut driver, "net.reconnect.healed");
     assert!(healed >= 1, "at least one reconnection heal expected, metrics say {healed}");
 
     // Act 3: straggler — freeze one executor for 1.2 s (past suspicion,
@@ -412,6 +415,66 @@ fn run_smoke(
     let readmissions = driver_counter("multiproc.readmissions");
     assert!(view_changes >= 2, "kill + re-admit must publish >= 2 views, saw {view_changes}");
     assert!(readmissions >= 1, "re-admission counter must advance, saw {readmissions}");
+
+    // Act 6: view change under a loaded scheduler queue — an executor dies
+    // mid-ring while two more jobs sit in the admission queue. Only the
+    // in-flight job may fail, and it must fail *typed*; the queued jobs run
+    // on the survivor ring, bit-exact. Retries and the tree fallback are
+    // disabled so the failure is the scheduler-visible event, not something
+    // the driver quietly absorbs.
+    println!("  act 6: view change with two jobs queued behind the dying one");
+    driver.max_attempts = 1;
+    driver.allow_fallback = false;
+    let shared = Arc::new(sparker_net::sync::Mutex::new(driver));
+    let sched = Scheduler::new(
+        MultiProcBackend::new(Arc::clone(&shared)),
+        Box::new(Fifo),
+        SchedConfig { capacity: 8, ..SchedConfig::default() },
+    );
+    let mut doomed = base(6);
+    doomed.die_rank = 1;
+    let spec7 = base(7);
+    let spec8 = base(8);
+    let h6 = sched.submit(JobRequest::new(0, doomed)).expect("doomed job admitted");
+    let h7 = sched.submit(JobRequest::new(1, spec7.clone())).expect("queued job admitted");
+    let h8 = sched.submit(JobRequest::new(2, spec8.clone())).expect("queued job admitted");
+    match h6.wait() {
+        Err(SchedError::TaskFailed { job, reason }) => {
+            println!("  in-flight job {job} failed typed across the view change: {reason}");
+        }
+        Ok(_) => panic!("the job whose executor died mid-ring must fail (fallback disabled)"),
+        Err(other) => panic!("expected TaskFailed for the in-flight job, got {other}"),
+    }
+    let o7 = h7.wait().expect("first queued job must survive the view change");
+    let o8 = h8.wait().expect("second queued job must survive the view change");
+    for (o, spec, name) in [(&o7, &spec7, "queued-1"), (&o8, &spec8, "queued-2")] {
+        assert!(!o.used_fallback, "{name}: survivor ring must beat the fallback");
+        assert_eq!(o.ring_size, execs - 1, "{name}: retry ring must span the survivors");
+        assert!(o.view_generation >= 3, "{name}: the mid-ring death must publish a new view");
+        check_job(name, o, &oracle(spec));
+    }
+    drop(sched);
+    let mut driver = Arc::try_unwrap(shared)
+        .ok()
+        .expect("scheduler must release the driver on shutdown")
+        .into_inner();
+    driver.max_attempts = 4;
+    driver.allow_fallback = true;
+
+    // The die_rank fault really killed a process (exit code 13): find the
+    // newly dead child and mark it so final exit-code accounting balances.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    'find: loop {
+        for e in cluster.execs.iter_mut() {
+            if !e.killed && matches!(e.child.try_wait(), Ok(Some(_))) {
+                e.killed = true;
+                break 'find;
+            }
+        }
+        assert!(Instant::now() < deadline, "the die_rank victim never exited");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    driver
 }
 
 /// `--plan kill`: one SIGKILL, prove survivor ring re-formation

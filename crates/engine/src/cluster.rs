@@ -79,7 +79,7 @@ pub struct ClusterInner {
     sc_dyn: Arc<dyn Transport>,
     bm: Arc<BlockManagerTransport>,
     executors: Vec<ExecutorHandle>,
-    fault_plan: FaultPlan,
+    fault_plan: Arc<FaultPlan>,
     op_counter: AtomicU64,
     /// Shared cancel token per collective op: set on gang failure so peers
     /// abort their fenced receives instead of waiting out the deadline.
@@ -148,7 +148,7 @@ impl LocalCluster {
                 sc_dyn,
                 bm,
                 executors,
-                fault_plan: FaultPlan::new(),
+                fault_plan: Arc::new(FaultPlan::new()),
                 op_counter: AtomicU64::new(1),
                 gang_cancel: Mutex::new(HashMap::new()),
                 action_guard: sparker_net::sync::ReentrantMutex::new(),
@@ -232,9 +232,16 @@ impl Drop for ClusterInner {
             let (closed, _) = channel();
             *h.queue.lock() = closed; // drop the live sender
         }
+        // Task closures may hold cluster refs, so the last `Arc<ClusterInner>`
+        // can drop on an executor worker itself; joining that thread from its
+        // own drop would self-deadlock (EDEADLK). Detach it instead — with
+        // its queue closed it exits as soon as this drop returns.
+        let me = std::thread::current().id();
         for h in &mut self.executors {
             for w in h.workers.drain(..) {
-                let _ = w.join();
+                if w.thread().id() != me {
+                    let _ = w.join();
+                }
             }
         }
     }
@@ -412,7 +419,11 @@ impl ClusterInner {
             let tx = tx.clone();
             let label = label.to_string();
             let armed = self.fault_plan.is_armed();
-            let me: Arc<ClusterInner> = self.clone();
+            // Jobs must never capture the cluster itself: an executor thread
+            // dropping the last `Arc<ClusterInner>` would make `drop` join
+            // the very thread it is running on (EDEADLK). The fault plan is
+            // the only cluster state a task consults, so capture just that.
+            let fault_plan = self.fault_plan.clone();
             let job: Job = Box::new(move |ctx| {
                 // Gated per-attempt task span, parented to the driver's
                 // stage span across the executor-thread boundary.
@@ -425,7 +436,7 @@ impl ClusterInner {
                     .arg("task", idx as u64)
                     .arg("attempt", attempt as u64)
                     .arg("executor", ctx.executor.0 as u64);
-                let result = if armed && me.fault_plan.should_fail(&label, idx, attempt) {
+                let result = if armed && fault_plan.should_fail(&label, idx, attempt) {
                     Err(TaskFailure { reason: format!("injected fault (attempt {attempt})") })
                 } else {
                     make(idx, attempt, ctx)
@@ -572,7 +583,10 @@ impl ClusterInner {
         }
         let out = results.into_iter().map(|r| r.expect("completed")).collect();
         let mut stage_span = stage_span;
-        stage_span.arg("tasks", n as u64).arg("attempts", total_attempts as u64);
+        stage_span
+            .arg("tasks", n as u64)
+            .arg("attempts", total_attempts as u64)
+            .arg("job", self.history.current_job());
         stage_span.finish();
         Ok((out, total_attempts))
     }

@@ -14,6 +14,7 @@
 //! exported Chrome traces and in [`sparker_obs::export::stage_breakdown`] —
 //! one source of truth for both the programmatic and the exported views.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use sparker_obs::{trace, Layer};
@@ -31,6 +32,9 @@ pub struct StageEvent {
     pub wall: Duration,
     /// Offset from cluster start when the stage completed.
     pub completed_at: Duration,
+    /// Scheduler job the stage ran under; 0 outside the scheduler (the
+    /// single-job default), so concurrent-job traces stay attributable.
+    pub job_id: u64,
 }
 
 impl StageEvent {
@@ -58,6 +62,10 @@ pub struct History {
     scope: u64,
     /// Cluster start, as nanoseconds since the process trace epoch.
     start_ns: u64,
+    /// Job id stamped onto stage records ([`StageEvent::job_id`]). Set for
+    /// the duration of an op while the cluster action lock is held, so every
+    /// record between set and reset belongs to that job.
+    current_job: AtomicU64,
 }
 
 impl Default for History {
@@ -68,7 +76,19 @@ impl Default for History {
 
 impl History {
     pub fn new() -> Self {
-        Self { scope: trace::next_scope(), start_ns: trace::now_ns() }
+        Self { scope: trace::next_scope(), start_ns: trace::now_ns(), current_job: AtomicU64::new(0) }
+    }
+
+    /// Sets the job id stamped onto subsequent stage records (0 = no job).
+    /// Ops call this right after taking the cluster action lock and reset it
+    /// to 0 before releasing, so the stamp can't bleed across jobs.
+    pub fn set_current_job(&self, job_id: u64) {
+        self.current_job.store(job_id, Ordering::Relaxed);
+    }
+
+    /// The job id currently stamped onto stage records.
+    pub fn current_job(&self) -> u64 {
+        self.current_job.load(Ordering::Relaxed)
     }
 
     /// The trace scope id this history's spans are tagged with. `run_stage`
@@ -85,7 +105,11 @@ impl History {
             Layer::Stage,
             label,
             wall,
-            &[("tasks", tasks as u64), ("attempts", attempts as u64)],
+            &[
+                ("tasks", tasks as u64),
+                ("attempts", attempts as u64),
+                ("job", self.current_job()),
+            ],
         );
     }
 
@@ -96,6 +120,7 @@ impl History {
             attempts: r.arg("attempts").unwrap_or(0) as u32,
             wall: Duration::from_nanos(r.dur_ns),
             completed_at: Duration::from_nanos(r.end_ns().saturating_sub(self.start_ns)),
+            job_id: r.arg("job").unwrap_or(0),
         }
     }
 
@@ -189,6 +214,7 @@ mod tests {
             attempts: 1,
             wall: Duration::ZERO,
             completed_at: Duration::ZERO,
+            job_id: 0,
         };
         assert_eq!(mk("tree-compute-op12").kind(), "tree-compute");
         assert_eq!(mk("tree-shuffle-op7-l1").kind(), "tree-shuffle");
@@ -205,6 +231,7 @@ mod tests {
             attempts: 1,
             wall: Duration::ZERO,
             completed_at: Duration::ZERO,
+            job_id: 0,
         };
         // Multi-suffix: everything after the op marker goes, not just the
         // last dash-group.
@@ -240,6 +267,18 @@ mod tests {
         assert_eq!(s[1].0, "split-imm");
         assert_eq!(s[1].1, Duration::from_millis(10));
         assert_eq!(s[1].2, 8);
+    }
+
+    #[test]
+    fn current_job_stamps_records_and_resets() {
+        let h = History::new();
+        h.record("split-imm-op1", 1, 1, Duration::from_millis(1));
+        h.set_current_job(9);
+        h.record("split-ring-op1", 1, 1, Duration::from_millis(1));
+        h.set_current_job(0);
+        h.record("split-imm-op2", 1, 1, Duration::from_millis(1));
+        let snap = h.snapshot();
+        assert_eq!(snap.iter().map(|e| e.job_id).collect::<Vec<_>>(), vec![0, 9, 0]);
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct AggMetrics {
     /// True when the collective path exhausted its gang attempts and the
     /// result was produced by the degraded (tree-style) fallback instead.
     pub downgraded: bool,
+    /// Scheduler job this aggregation ran under, making rows from concurrent
+    /// jobs attributable in merged CSVs. Single-job runs emit 0.
+    pub job_id: u64,
 }
 
 impl AggMetrics {
@@ -73,6 +76,7 @@ impl AggMetrics {
             stages: 0,
             task_attempts: 0,
             downgraded: false,
+            job_id: 0,
         }
     }
 
@@ -93,13 +97,13 @@ impl AggMetrics {
     /// Column names matching [`AggMetrics::csv_row`]. Bench bins prepend
     /// their own key columns (dimension, executors, …) to both.
     pub fn csv_header() -> &'static str {
-        "strategy,compute_s,reduce_s,driver_merge_s,total_s,ser_bytes,wire_bytes,bytes_to_driver,messages,stages,task_attempts,downgraded"
+        "strategy,compute_s,reduce_s,driver_merge_s,total_s,ser_bytes,wire_bytes,bytes_to_driver,messages,stages,task_attempts,downgraded,job_id"
     }
 
     /// One CSV row of every field, in [`AggMetrics::csv_header`] order.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{},{}",
+            "{},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{},{},{}",
             self.strategy.name(),
             self.compute.as_secs_f64(),
             self.reduce.as_secs_f64(),
@@ -112,6 +116,7 @@ impl AggMetrics {
             self.stages,
             self.task_attempts,
             self.downgraded as u8,
+            self.job_id,
         )
     }
 }
@@ -147,6 +152,7 @@ mod tests {
         m.stages = 2;
         m.task_attempts = 9;
         m.downgraded = true;
+        m.job_id = 42;
         let header: Vec<&str> = AggMetrics::csv_header().split(',').collect();
         let row = m.csv_row();
         let cells: Vec<&str> = row.split(',').collect();
@@ -156,5 +162,13 @@ mod tests {
         assert_eq!(cells[5], "1024"); // ser_bytes
         assert_eq!(cells[6], "1024"); // wire_bytes mirrors the unified accounting
         assert_eq!(cells[11], "1"); // downgraded
+        assert_eq!(cells[12], "42"); // job_id, last column so older indices hold
+    }
+
+    #[test]
+    fn single_job_rows_emit_job_id_zero() {
+        let m = AggMetrics::new(AggStrategy::Tree);
+        let row = m.csv_row();
+        assert_eq!(row.split(',').last(), Some("0"));
     }
 }

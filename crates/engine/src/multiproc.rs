@@ -166,6 +166,11 @@ pub struct JobSpec {
     pub chunks: usize,
     /// Gang attempt — the `attempt` half of the epoch fence.
     pub attempt: u32,
+    /// Epoch namespace ([`sparker_net::epoch::namespaced`]) folded into the
+    /// attempt word on the wire, so jobs interleaved by concurrent
+    /// submitters can never accept each other's collective frames. 0 is the
+    /// single-job default.
+    pub epoch_ns: u32,
     /// Per-receive deadline inside the ring, so a lost peer turns into a
     /// typed error instead of a hang.
     pub recv_deadline_ms: u64,
@@ -202,6 +207,7 @@ impl JobSpec {
             parallelism: 2,
             chunks: 2,
             attempt: 0,
+            epoch_ns: 0,
             recv_deadline_ms: 2_000,
             fail_rank: NO_RANK,
             die_rank: NO_RANK,
@@ -233,6 +239,7 @@ impl Payload for JobSpec {
         enc.put_usize(self.parallelism);
         enc.put_usize(self.chunks);
         enc.put_u32(self.attempt);
+        enc.put_u32(self.epoch_ns);
         enc.put_u64(self.recv_deadline_ms);
         enc.put_u32(self.fail_rank);
         enc.put_u32(self.die_rank);
@@ -256,6 +263,7 @@ impl Payload for JobSpec {
         let parallelism = dec.get_usize()?;
         let chunks = dec.get_usize()?;
         let attempt = dec.get_u32()?;
+        let epoch_ns = dec.get_u32()?;
         let recv_deadline_ms = dec.get_u64()?;
         let fail_rank = dec.get_u32()?;
         let die_rank = dec.get_u32()?;
@@ -278,6 +286,7 @@ impl Payload for JobSpec {
             parallelism,
             chunks,
             attempt,
+            epoch_ns,
             recv_deadline_ms,
             fail_rank,
             die_rank,
@@ -289,7 +298,7 @@ impl Payload for JobSpec {
     }
 
     fn size_hint(&self) -> usize {
-        85 + 8 + self.view.size_hint() + 8 + self.assigned.iter().map(|p| 8 + 8 * p.len()).sum::<usize>()
+        89 + 8 + self.view.size_hint() + 8 + self.assigned.iter().map(|p| 8 + 8 * p.len()).sum::<usize>()
     }
 }
 
@@ -795,7 +804,7 @@ fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
     ));
     let net: Arc<dyn Transport> = joined.transport.clone();
     let comm = RingComm::new(net, ring, position)
-        .with_epoch(spec.id, spec.attempt)
+        .with_epoch(spec.id, sparker_net::epoch::namespaced(spec.epoch_ns, spec.attempt))
         .with_recv_deadline(Duration::from_millis(spec.recv_deadline_ms));
 
     // Injected transient failure: leave well-formed frames of this (doomed)
@@ -893,6 +902,11 @@ pub struct MultiProcDriver {
     view: MembershipView,
     /// Gang attempts before giving up on the ring path.
     pub max_attempts: u32,
+    /// Whether exhausted ring attempts may degrade to the tree fallback
+    /// (the default). Schedulers turn this off so a job caught by a view
+    /// change fails *typed* and promptly instead of silently recomputing —
+    /// queued jobs then run under the new view.
+    pub allow_fallback: bool,
     /// How long to wait for each executor's reply to a job.
     pub reply_timeout: Duration,
     /// The last ring-attempt failure seen by [`MultiProcDriver::run_job`]
@@ -912,6 +926,7 @@ impl MultiProcDriver {
             controls: controls.into_iter().map(Some).collect(),
             view: MembershipView::full(n),
             max_attempts: 4,
+            allow_fallback: true,
             reply_timeout: Duration::from_secs(60),
             last_ring_error: String::new(),
             last_admit_errors: Vec::new(),
@@ -1040,6 +1055,16 @@ impl MultiProcDriver {
                     ring_size: gang.len(),
                 });
             }
+        }
+
+        if !self.allow_fallback {
+            self.refresh_view();
+            return Err(EngineError::TaskFailed {
+                stage: job_stage(base.id, self.view.generation),
+                task: 0,
+                attempts,
+                reason: format!("ring attempts exhausted, fallback disabled: {last_err}"),
+            });
         }
 
         // Tree fallback: survivors recompute everything from lineage.
@@ -1360,6 +1385,7 @@ mod tests {
         let mut with_assign = spec.clone();
         with_assign.assigned = vec![vec![0, 3], vec![1], vec![2]];
         with_assign.view = MembershipView { generation: 3, members: vec![0, 2, 3] };
+        with_assign.epoch_ns = 511;
         for msg in [
             DriverMsg::Run(with_assign.clone()),
             DriverMsg::Fallback { id: 7, spec: with_assign, parts: vec![0, 1, 2, 3] },

@@ -84,6 +84,15 @@ pub struct SplitAggOpts {
     /// segments and overlaps chunk sends with chunk merges inside every
     /// ring step. Requires [`RsAlgorithm::Ring`].
     pub chunks: usize,
+    /// Scheduler job this op runs under; stamped onto stage history records
+    /// and [`AggMetrics::job_id`]. 0 (the default) means "no job" and keeps
+    /// single-job runs byte-identical to before.
+    pub job_id: u64,
+    /// Epoch namespace for the ring's collective frames (see
+    /// [`sparker_net::epoch::namespaced`]): concurrent jobs get distinct
+    /// namespaces so their rings can never accept each other's frames. Must
+    /// be `< epoch::NS_COUNT`; 0 is the single-job default.
+    pub epoch_ns: u32,
 }
 
 impl Default for SplitAggOpts {
@@ -93,6 +102,8 @@ impl Default for SplitAggOpts {
             algorithm: RsAlgorithm::Ring,
             imm_mode: ImmMode::LocalFold,
             chunks: 1,
+            job_id: 0,
+            epoch_ns: 0,
         }
     }
 }
@@ -146,12 +157,32 @@ where
             "chunk pipelining (chunks > 1) requires RsAlgorithm::Ring".into(),
         ));
     }
+    if opts.epoch_ns >= sparker_net::epoch::NS_COUNT {
+        return Err(EngineError::Invalid(format!(
+            "epoch namespace {} out of range (< {})",
+            opts.epoch_ns,
+            sparker_net::epoch::NS_COUNT
+        )));
+    }
+
+    // Stamp every stage record of this op with the job id; the guard resets
+    // the stamp on every exit path (the action lock is held throughout, so
+    // no other op can observe the stamp).
+    inner.history().set_current_job(opts.job_id);
+    struct JobStamp<'a>(&'a crate::history::History);
+    impl Drop for JobStamp<'_> {
+        fn drop(&mut self) {
+            self.0.set_current_job(0);
+        }
+    }
+    let _job_stamp = JobStamp(inner.history());
 
     let strategy = match opts.algorithm {
         RsAlgorithm::Ring => AggStrategy::Split,
         RsAlgorithm::Halving => AggStrategy::SplitHalving,
     };
     let mut metrics = AggMetrics::new(strategy);
+    metrics.job_id = opts.job_id;
     let ser_bytes = Arc::new(AtomicU64::new(0));
     // Op phases are Driver-layer scoped spans; AggMetrics durations are read
     // back from them, so the metrics view and the exported trace agree.
@@ -234,6 +265,7 @@ where
         let ser_bytes = ser_bytes.clone();
         let algorithm = opts.algorithm;
         let chunks = opts.chunks;
+        let epoch_ns = opts.epoch_ns;
         inner.run_stage(
             &ring_label,
             &all_execs,
@@ -270,7 +302,15 @@ where
                 };
                 drop(u);
 
-                let comm = inner2.collective_comm(&ring, ctx.executor, op, attempt);
+                // Fence frames to this job's epoch namespace: a concurrent
+                // job's ring (different namespace) can never match, whatever
+                // its attempt counter.
+                let comm = inner2.collective_comm(
+                    &ring,
+                    ctx.executor,
+                    op,
+                    sparker_net::epoch::namespaced(epoch_ns, attempt),
+                );
                 let owned: Vec<OwnedSegment<V>> = match algorithm {
                     RsAlgorithm::Ring => ring_reduce_scatter_chunked_by(
                         &comm,
@@ -560,6 +600,64 @@ mod tests {
         assert_eq!(v, expected(37));
         assert_eq!(m.strategy, AggStrategy::Split);
         assert_eq!(m.stages, 2);
+    }
+
+    #[test]
+    fn split_aggregate_under_epoch_namespace_is_bit_exact() {
+        let opts = SplitAggOpts { epoch_ns: 17, job_id: 9, ..Default::default() };
+        let (v, m) = run_split(4, 2, 8, 37, opts);
+        assert_eq!(v, expected(37));
+        assert_eq!(m.job_id, 9, "metrics carry the job id");
+    }
+
+    #[test]
+    fn split_aggregate_rejects_out_of_range_namespace() {
+        use crate::config::ClusterSpec;
+        use crate::rdds::ParallelCollection;
+        let cluster = LocalCluster::new(ClusterSpec::local(2, 2));
+        let rdd: RddRef<u64> = Arc::new(ParallelCollection::new(vec![1, 2, 3, 4], 2));
+        let opts =
+            SplitAggOpts { epoch_ns: sparker_net::epoch::NS_COUNT, ..Default::default() };
+        let got = split_aggregate(
+            &cluster,
+            rdd,
+            0u64,
+            |a: u64, x: &u64| a + x,
+            |a: &mut u64, b: u64| *a += b,
+            |u: &u64, i: usize, _n: usize| if i == 0 { *u } else { 0 },
+            |a: &mut u64, b: u64| *a += b,
+            |segs: Vec<u64>| segs.into_iter().sum::<u64>(),
+            opts,
+        );
+        assert!(matches!(got, Err(EngineError::Invalid(_))), "{got:?}");
+    }
+
+    #[test]
+    fn split_aggregate_stamps_history_with_job_id() {
+        use crate::config::ClusterSpec;
+        use crate::rdds::ParallelCollection;
+        let cluster = LocalCluster::new(ClusterSpec::local(2, 2));
+        let rdd: RddRef<u64> = Arc::new(ParallelCollection::new(vec![1, 2, 3, 4], 2));
+        let opts = SplitAggOpts { job_id: 5, ..Default::default() };
+        let (_, _) = split_aggregate(
+            &cluster,
+            rdd,
+            0u64,
+            |a: u64, x: &u64| a + x,
+            |a: &mut u64, b: u64| *a += b,
+            |u: &u64, i: usize, _n: usize| if i == 0 { *u } else { 0 },
+            |a: &mut u64, b: u64| *a += b,
+            |segs: Vec<u64>| segs.into_iter().sum::<u64>(),
+            opts,
+        )
+        .unwrap();
+        let events = cluster.history().snapshot();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().all(|e| e.job_id == 5),
+            "every stage of the op carries the job id: {events:?}"
+        );
+        assert_eq!(cluster.history().current_job(), 0, "stamp reset after the op");
     }
 
     #[test]

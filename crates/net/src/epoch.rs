@@ -21,6 +21,41 @@ use crate::error::{NetError, NetResult};
 /// Frame magic: distinguishes epoch-wrapped collective frames from garbage.
 const MAGIC: u32 = 0x5350_4B31; // "SPK1"
 
+/// Bits of the `attempt` word reserved for the per-job epoch *namespace*.
+///
+/// With many jobs in flight, two concurrent rings could otherwise pick the
+/// same `(op, attempt)` pair and accept each other's frames. The scheduler
+/// assigns every live job a namespace in `1..NS_COUNT` (0 is the single-job
+/// default) and folds it into the high bits of the attempt word with
+/// [`namespaced`]; the frame layout is unchanged, so the §5g wire spec still
+/// holds byte-for-byte. Distinct live namespaces can never collide: the
+/// namespace bits differ, so the fenced attempt words differ for every
+/// combination of raw attempts.
+pub const NS_BITS: u32 = 10;
+/// Number of distinct epoch namespaces (including the default namespace 0).
+pub const NS_COUNT: u32 = 1 << NS_BITS;
+/// Bits left for the raw attempt counter under a namespace.
+pub const ATTEMPT_BITS: u32 = 32 - NS_BITS;
+/// Mask selecting the raw attempt counter out of a fenced attempt word.
+pub const ATTEMPT_MASK: u32 = (1 << ATTEMPT_BITS) - 1;
+
+/// Folds a job's epoch namespace into an attempt counter.
+///
+/// The result goes wherever a plain attempt went before (frame headers,
+/// `RingComm::with_epoch`); [`split_namespaced`] inverts it. Raw attempts
+/// are far below `ATTEMPT_MASK` in practice (drivers cap collective retries
+/// at single digits), so the masking never loses real attempts.
+pub fn namespaced(ns: u32, attempt: u32) -> u32 {
+    debug_assert!(ns < NS_COUNT, "epoch namespace {ns} out of range (< {NS_COUNT})");
+    debug_assert!(attempt <= ATTEMPT_MASK, "attempt {attempt} overflows namespace layout");
+    ((ns & (NS_COUNT - 1)) << ATTEMPT_BITS) | (attempt & ATTEMPT_MASK)
+}
+
+/// Splits a fenced attempt word into `(namespace, raw attempt)`.
+pub fn split_namespaced(fenced: u32) -> (u32, u32) {
+    (fenced >> ATTEMPT_BITS, fenced & ATTEMPT_MASK)
+}
+
 /// FNV-1a over the epoch fields and payload, the integrity check for
 /// collective frames (see [`crate::hash`] for the hash's constants).
 fn checksum(op: u64, attempt: u32, payload: &[u8]) -> u64 {
@@ -128,6 +163,39 @@ mod tests {
             let short = frame.slice(0..cut);
             assert!(matches!(unwrap(short), Err(NetError::Codec(_))), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn namespaced_roundtrips() {
+        for ns in [0, 1, 2, 511, NS_COUNT - 1] {
+            for attempt in [0, 1, 7, ATTEMPT_MASK] {
+                assert_eq!(split_namespaced(namespaced(ns, attempt)), (ns, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_namespaces_never_collide() {
+        // Any two fenced attempt words from different namespaces differ,
+        // whatever the raw attempts — the no-cross-talk guarantee.
+        for ns_a in [0u32, 1, 3, 1023] {
+            for ns_b in [2u32, 4, 512] {
+                assert_ne!(ns_a, ns_b);
+                for a in 0..4u32 {
+                    for b in 0..4u32 {
+                        assert_ne!(namespaced(ns_a, a), namespaced(ns_b, b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn namespaced_epoch_travels_through_frames() {
+        let fenced = namespaced(17, 2);
+        let (op, attempt, _) = unwrap(wrap(99, fenced, &ByteBuf::from_static(b"p"))).unwrap();
+        assert_eq!(op, 99);
+        assert_eq!(split_namespaced(attempt), (17, 2));
     }
 
     #[test]

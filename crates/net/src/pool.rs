@@ -28,10 +28,10 @@
 //! referenced anywhere — a zero-copy slice, a clone queued in a transport —
 //! simply drops normally and is never reused under a reader.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use sparker_obs::metrics::{self, Counter};
+use sparker_obs::metrics::{self, Counter, Gauge};
 
 use crate::bytebuf::ByteBuf;
 use crate::sync::Mutex;
@@ -59,9 +59,27 @@ pub struct PoolStats {
     pub bytes_reused: u64,
 }
 
+/// Live occupancy of one pool size class, for backpressure and dashboards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassOccupancy {
+    /// Class buffer size in bytes (`2^class`).
+    pub size: usize,
+    /// Buffers currently checked out of this class (acquired, not yet
+    /// recycled). Can exceed `cap` under load — that is the pressure signal.
+    pub in_use: u64,
+    /// Buffers sitting on the freelist, ready for reuse.
+    pub free: usize,
+    /// Retention cap per class ([`MAX_PER_CLASS`]).
+    pub cap: usize,
+}
+
 /// A freelist of reusable encode buffers, bucketed by power-of-two capacity.
 pub struct FramePool {
     classes: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Outstanding (acquired, unrecycled) buffers per class. Only pooled-range
+    /// acquires on an *enabled* pool are tracked, mirroring exactly the
+    /// buffers [`FramePool::recycle_vec`] would accept back.
+    in_use: Vec<AtomicI64>,
     enabled: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -79,6 +97,7 @@ impl FramePool {
     pub fn new() -> Self {
         Self {
             classes: (MIN_CLASS..=MAX_CLASS).map(|_| Mutex::new(Vec::new())).collect(),
+            in_use: (MIN_CLASS..=MAX_CLASS).map(|_| AtomicI64::new(0)).collect(),
             enabled: AtomicBool::new(true),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -132,6 +151,8 @@ impl FramePool {
     pub fn acquire(&self, cap: usize) -> Vec<u8> {
         if self.is_enabled() {
             if let Some(class) = Self::fetch_class(cap.max(1)) {
+                self.in_use[class].fetch_add(1, Ordering::Relaxed);
+                obs_in_use(class, 1);
                 if let Some(mut buf) = self.classes[class].lock().pop() {
                     debug_assert!(buf.capacity() >= cap);
                     buf.clear(); // capacity survives, stale contents do not
@@ -157,6 +178,17 @@ impl FramePool {
             return;
         }
         if let Some(class) = Self::store_class(buf.capacity()) {
+            // A pool-acquired buffer recycles into the class it was fetched
+            // from (acquires round capacity up to the class size), so this
+            // balances the acquire-side increment. Foreign buffers that were
+            // never acquired here are clamped at zero instead of driving the
+            // occupancy negative.
+            let decremented = self.in_use[class]
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| (v > 0).then(|| v - 1))
+                .is_ok();
+            if decremented {
+                obs_in_use(class, -1);
+            }
             let mut shelf = self.classes[class].lock();
             if shelf.len() < MAX_PER_CLASS {
                 shelf.push(buf);
@@ -175,6 +207,37 @@ impl FramePool {
             }
             Err(_shared) => false,
         }
+    }
+
+    /// Live per-class occupancy: buffers checked out, buffers free, and the
+    /// retention cap, smallest class first. Exported as `pool.class_{size}.in_use`
+    /// gauges as acquires/recycles happen; this is the poll-based view the
+    /// scheduler's backpressure consults.
+    pub fn occupancy(&self) -> Vec<ClassOccupancy> {
+        (MIN_CLASS..=MAX_CLASS)
+            .map(|c| {
+                let idx = (c - MIN_CLASS) as usize;
+                ClassOccupancy {
+                    size: 1usize << c,
+                    in_use: self.in_use[idx].load(Ordering::Relaxed).max(0) as u64,
+                    free: self.classes[idx].lock().len(),
+                    cap: MAX_PER_CLASS,
+                }
+            })
+            .collect()
+    }
+
+    /// Pool pressure in permille: the most contended class's `in_use` count
+    /// relative to the retention cap, so 1000 means "one full class's worth
+    /// of buffers is checked out" and values above 1000 mean acquires are
+    /// outrunning what the freelist can ever hand back. This is the scalar
+    /// the admission backpressure law (DESIGN.md §5i) thresholds against.
+    pub fn pressure_permille(&self) -> u64 {
+        self.in_use
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed).max(0) as u64 * 1000 / MAX_PER_CLASS as u64)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Counter snapshot.
@@ -205,6 +268,19 @@ fn obs_hit(bytes: u64) {
 fn obs_miss() {
     static MISSES: OnceLock<Arc<Counter>> = OnceLock::new();
     MISSES.get_or_init(|| metrics::counter("net.pool.misses")).inc();
+}
+
+/// Mirrors per-class occupancy into `pool.class_{size}.in_use` gauges. Deltas
+/// (not absolute sets) so the gauge is the sum across every enabled pool in
+/// the process — one coherent "buffers checked out" number per size class.
+fn obs_in_use(class: usize, delta: i64) {
+    static GAUGES: OnceLock<Vec<Arc<Gauge>>> = OnceLock::new();
+    let gauges = GAUGES.get_or_init(|| {
+        (MIN_CLASS..=MAX_CLASS)
+            .map(|c| metrics::gauge(&format!("pool.class_{}.in_use", 1usize << c)))
+            .collect()
+    });
+    gauges[class].add(delta);
 }
 
 /// The process-wide pool the hot paths (epoch wrapping, ring passes) draw
@@ -311,6 +387,59 @@ mod tests {
         }
         assert_eq!(pool.stats().hits as usize, MAX_PER_CLASS);
         assert_eq!(reused, MAX_PER_CLASS + 10); // misses still allocate correctly
+    }
+
+    #[test]
+    fn occupancy_tracks_outstanding_buffers() {
+        let pool = FramePool::new();
+        assert_eq!(pool.pressure_permille(), 0);
+        let a = pool.acquire(1024); // class 10
+        let b = pool.acquire(1024);
+        let occ = pool.occupancy();
+        let class = occ.iter().find(|c| c.size == 1024).unwrap();
+        assert_eq!(class.in_use, 2);
+        assert_eq!(class.cap, MAX_PER_CLASS);
+        assert_eq!(pool.pressure_permille(), 2 * 1000 / MAX_PER_CLASS as u64);
+        pool.recycle_vec(a);
+        pool.recycle_vec(b);
+        let occ = pool.occupancy();
+        let class = occ.iter().find(|c| c.size == 1024).unwrap();
+        assert_eq!(class.in_use, 0, "recycling releases occupancy");
+        assert_eq!(class.free, 2);
+        assert_eq!(pool.pressure_permille(), 0);
+    }
+
+    #[test]
+    fn foreign_recycles_never_drive_occupancy_negative() {
+        let pool = FramePool::new();
+        // Recycle buffers that were never acquired from this pool.
+        pool.recycle_vec(Vec::with_capacity(512));
+        pool.recycle_vec(Vec::with_capacity(512));
+        assert!(pool.occupancy().iter().all(|c| c.in_use == 0));
+        // And a later acquire/recycle pair still balances to zero.
+        let buf = pool.acquire(512);
+        pool.recycle_vec(buf);
+        assert!(pool.occupancy().iter().all(|c| c.in_use == 0));
+    }
+
+    #[test]
+    fn pressure_exceeds_cap_under_load() {
+        let pool = FramePool::new();
+        let held: Vec<_> = (0..2 * MAX_PER_CLASS).map(|_| pool.acquire(4096)).collect();
+        assert_eq!(pool.pressure_permille(), 2000, "2x the retention cap checked out");
+        for buf in held {
+            pool.recycle_vec(buf);
+        }
+        assert_eq!(pool.pressure_permille(), 0);
+    }
+
+    #[test]
+    fn disabled_pool_tracks_no_occupancy() {
+        let pool = FramePool::disabled();
+        let a = pool.acquire(2048);
+        assert!(pool.occupancy().iter().all(|c| c.in_use == 0));
+        pool.recycle_vec(a);
+        assert!(pool.occupancy().iter().all(|c| c.in_use == 0));
     }
 
     #[test]

@@ -43,6 +43,12 @@ impl<T> Mutex<T> {
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// Consumes the mutex and returns the inner value, recovering it if a
+    /// previous holder panicked.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A reader-writer lock whose guards recover from poisoning.

@@ -77,6 +77,23 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The run above pushed real frames through the global pool, so the
+    // per-class occupancy gauges must exist (back at zero now that every
+    // frame is recycled) — the dashboard contract for `pool.class_*.in_use`.
+    let pool_gauges: Vec<_> = sparker_obs::metrics::snapshot()
+        .into_iter()
+        .filter(|m| {
+            m.name.starts_with("pool.class_")
+                && m.name.ends_with(".in_use")
+                && matches!(m.value, sparker_obs::metrics::MetricValue::Gauge(_))
+        })
+        .collect();
+    if pool_gauges.is_empty() {
+        eprintln!("trace_run: no pool.class_*.in_use occupancy gauges registered");
+        std::process::exit(1);
+    }
+    println!("  pool occupancy gauges: {}", pool_gauges.len());
+
     println!(
         "trace_run OK: {} spans across all {} layers -> results/trace_run.json",
         events.len(),

@@ -102,4 +102,12 @@ smoke run --release -p sparker-bench --bin launch_cluster -- --smoke
 #    watchdog exits 86 on a hang, under this step's timeout regardless.
 smoke run --release -p sparker-bench --bin chaos_cluster -- --plan kill
 
+# 10. Multi-job scheduler smoke — bench_jobs drives the sparker-sched
+#     admission queue with 4 concurrent client threads over 4 engine lanes,
+#     asserting every scheduled result bit-exact against the serial oracle,
+#     a jobs/s floor, the fair-share victim-p99 bound (which FIFO must
+#     break), and typed queue-full/backpressure rejections. Writes
+#     results/bench_jobs.json + BENCH_8.json.
+smoke run --release -p sparker-bench --bin bench_jobs -- --smoke
+
 echo "hermetic check passed: built and tested fully offline, path-only deps"
