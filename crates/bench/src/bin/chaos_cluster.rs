@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use sparker_bench::print_header;
 use sparker_engine::multiproc::{
-    oracle, run_executor_with, JobOutcome, JobSpec, MultiProcDriver, KILLED_EXIT_CODE,
+    oracle, run_executor_with, JobOutcome, JobSpec, MultiProcDriver, ALGO_HIER, KILLED_EXIT_CODE,
 };
 use sparker_net::tcp::rendezvous::Coordinator;
 use sparker_net::tcp::TcpConfig;
@@ -341,7 +341,7 @@ fn main() {
     );
 }
 
-/// The deterministic six-act CI script. Takes the driver by value because
+/// The deterministic seven-act CI script. Takes the driver by value because
 /// act 6 loans it to a [`Scheduler`] (behind the backend's shared mutex) and
 /// recovers it afterwards.
 fn run_smoke(
@@ -352,7 +352,7 @@ fn run_smoke(
     watch_pids: &Arc<Mutex<Vec<u32>>>,
     base: &dyn Fn(u64) -> JobSpec,
 ) -> MultiProcDriver {
-    println!("\n--- smoke: baseline / drop / freeze / kill / re-admit / scheduled view change ---");
+    println!("\n--- smoke: baseline / drop / freeze / kill / re-admit / scheduled view change / hier leader kill ---");
 
     // Act 1: baseline — full ring, one attempt, founding view.
     let spec = base(1);
@@ -472,6 +472,62 @@ fn run_smoke(
             }
         }
         assert!(Instant::now() < deadline, "the die_rank victim never exited");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Act 7: hierarchical collective under chaos — a replacement is
+    // re-admitted to restore the full ring, the job runs the two-level path
+    // over two *emulated* nodes, and the leader of the second node group is
+    // SIGKILLed mid-allreduce. The retry must re-form the hierarchy over
+    // the survivors (groups and leaders are re-derived from ring positions,
+    // so the re-election is automatic): same bits, new view, no hang.
+    println!("  act 7: SIGKILL a node leader mid-hierarchical-allreduce");
+    cluster.spawn_exec();
+    *watch_pids.lock().unwrap() = cluster.pids();
+    let readmitted = driver
+        .try_readmit(coordinator, Duration::from_secs(15))
+        .expect("readmit poll")
+        .expect("replacement executor should be re-admitted for act 7");
+    println!("  re-admitted replacement executor at rank {readmitted}");
+    let hier = |id: u64| {
+        let mut s = base(id);
+        s.algo = ALGO_HIER;
+        s.nodes = 2;
+        s
+    };
+    let spec = hier(9);
+    let o = driver.run_job(&spec).expect("hierarchical baseline job");
+    assert_eq!(
+        (o.attempts, o.used_fallback, o.ring_size),
+        (1, false, execs),
+        "hierarchical baseline must run clean on the restored ring"
+    );
+    check_job("hier-baseline", &o, &oracle(&spec));
+
+    let pre_kill_views = driver_counter("multiproc.view_changes");
+    let mut doomed = hier(10);
+    // Emulated node groups split the view-ordered ring by position, so the
+    // member at position N/2 leads the second group.
+    doomed.die_rank = (driver.alive().len() / 2) as u32;
+    let o = driver.run_job(&doomed).expect("hierarchical job must survive its leader dying");
+    assert!(!o.used_fallback, "hierarchy re-formation must beat the tree fallback");
+    assert_eq!(o.ring_size, execs - 1, "retry ring must span exactly the survivors");
+    assert!(
+        driver_counter("multiproc.view_changes") > pre_kill_views,
+        "losing a node leader must publish a new view"
+    );
+    check_job("hier-leader-kill", &o, &oracle(&doomed));
+
+    // Account for the leader's death so exit codes balance at teardown.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    'find2: loop {
+        for e in cluster.execs.iter_mut() {
+            if !e.killed && matches!(e.child.try_wait(), Ok(Some(_))) {
+                e.killed = true;
+                break 'find2;
+            }
+        }
+        assert!(Instant::now() < deadline, "the act-7 leader victim never exited");
         std::thread::sleep(Duration::from_millis(20));
     }
     driver

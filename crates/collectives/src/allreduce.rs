@@ -18,7 +18,7 @@ use crate::segment::Segment;
 /// block owned after reduce-scatter (`(rank + 1) % N` of this channel's
 /// range) and after `N−1` forwarding steps holds all `N`. Pure forwarding:
 /// needs only the wire format, no merge.
-fn ring_allgather_pass<S: sparker_net::codec::Payload>(
+pub(crate) fn ring_allgather_pass<S: sparker_net::codec::Payload>(
     comm: &RingComm,
     channel: usize,
     owned: S,

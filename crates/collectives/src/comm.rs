@@ -82,6 +82,29 @@ impl RingComm {
         self
     }
 
+    /// Derives a communicator bound to `rank` in `sub` — a different ring
+    /// over the *same* transport (e.g. the node-leader ring of a
+    /// hierarchical collective). Epoch, cancel token, and receive deadline
+    /// carry over, so sub-ring traffic stays fenced to the same collective
+    /// attempt and aborts with the same gang.
+    pub fn subring(&self, sub: Arc<RingTopology>, rank: usize) -> RingComm {
+        assert!(rank < sub.size(), "rank {rank} out of ring of {}", sub.size());
+        assert!(
+            sub.parallelism() <= self.net.channels(),
+            "ring parallelism {} exceeds transport channels {}",
+            sub.parallelism(),
+            self.net.channels()
+        );
+        Self {
+            net: self.net.clone(),
+            ring: sub,
+            rank,
+            epoch: self.epoch,
+            cancel: self.cancel.clone(),
+            recv_deadline: self.recv_deadline,
+        }
+    }
+
     pub fn rank(&self) -> usize {
         self.rank
     }

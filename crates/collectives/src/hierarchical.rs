@@ -1,0 +1,626 @@
+//! Two-level hierarchical collectives: intra-node fold, inter-node ring.
+//!
+//! The paper's topology-aware ordering (§4, Figure 14) makes a *flat* ring
+//! cheap by letting all but one hop per node stay on shared memory. This
+//! module goes one level further: instead of threading the ring through
+//! every executor, each node first *folds* its executors' contributions
+//! into an elected node leader over intra-node links (the same striped
+//! shared-memory path the IMM uses), then only the `L` leaders run the
+//! chunk-pipelined ring reduce-scatter of [`crate::ring`] across the NICs,
+//! and — for the allreduce form — each leader finally broadcasts the
+//! result back to its node. The inter-node ring moves `(L−1)/L` of one
+//! aggregator per NIC instead of `(N−1)/N` per *executor*, so NIC bytes
+//! shrink by the executors-per-node factor.
+//!
+//! # Leader election and the segment space
+//!
+//! Node groups come from [`NodeTopology::group`] — the same `(host, id)`
+//! sort as the topology-aware ring, so every rank derives the identical
+//! grouping without coordination. The leader is each group's lowest-id
+//! member; after a failure, re-grouping the survivor view re-elects
+//! deterministically. The global segment space is `P·L·C` (channels ×
+//! leaders × pipeline chunks): *every* rank splits its aggregator the same
+//! way, non-leaders end the reduce-scatter owning nothing, and each leader
+//! owns `P·C` fully-reduced physical chunks.
+//!
+//! # Bit-exactness and fault composition
+//!
+//! Fold merges run in member-id order, then the leader ring performs the
+//! same merge schedule as the flat ring over `L` ranks — on integer-valued
+//! data (the repo's oracle convention) any association is exact, so the
+//! result is bit-identical to the flat path and to a sequential reduction.
+//! All traffic flows through the caller's [`RingComm`], so epoch fencing,
+//! gang cancellation, and receive deadlines apply unchanged: a killed
+//! leader surfaces as `Timeout`/`Cancelled` on its group and ring
+//! neighbours, which the engine turns into a retry over the survivor view
+//! (with a freshly elected leader) or the tree fallback — never a hang.
+
+use std::sync::Arc;
+
+use sparker_net::codec::Payload;
+use sparker_net::error::{NetError, NetResult};
+use sparker_net::pool;
+use sparker_net::topology::{ExecutorInfo, NodeTopology, RingOrder, RingTopology};
+
+use crate::allreduce::ring_allgather_pass;
+use crate::comm::RingComm;
+use crate::ring::{ring_reduce_scatter_chunked_by, OwnedSegment};
+use crate::segment::Segment;
+
+/// Node grouping of a ring's members, by hostname locality key.
+pub fn node_topology_of(ring: &RingTopology) -> NodeTopology {
+    let infos: Vec<ExecutorInfo> = ring.iter().cloned().collect();
+    NodeTopology::group(&infos)
+}
+
+/// Number of segments every rank must pass to the hierarchical paths:
+/// `P·L·C`, where `L` is the number of node groups (= leaders).
+pub fn hierarchical_segment_count(ring: &RingTopology, chunks: usize) -> usize {
+    ring.parallelism() * node_topology_of(ring).num_nodes() * chunks
+}
+
+/// Hierarchical reduce-scatter with [`Segment::merge_from`], `C = 1`.
+pub fn hierarchical_reduce_scatter<S: Segment>(
+    comm: &RingComm,
+    segments: Vec<S>,
+) -> NetResult<Vec<OwnedSegment<S>>> {
+    hierarchical_reduce_scatter_chunked_by(
+        comm,
+        segments,
+        &|acc: &mut S, incoming: S| acc.merge_from(&incoming),
+        1,
+    )
+}
+
+/// Hierarchical reduce-scatter: intra-node fold to the elected leader,
+/// then the chunk-pipelined leader ring. `segments` must hold exactly
+/// [`hierarchical_segment_count`] entries on **every** rank (both sides of
+/// a mismatch error out before any communication). Leaders return their
+/// `P·C` owned chunks with global indices in `0..P·L·C`, sorted;
+/// non-leaders return an empty set.
+pub fn hierarchical_reduce_scatter_chunked_by<V, F>(
+    comm: &RingComm,
+    segments: Vec<V>,
+    merge: &F,
+    chunks: usize,
+) -> NetResult<Vec<OwnedSegment<V>>>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    let topo = validate(comm, segments.len(), chunks)?;
+    // Every executor its own node: the leader ring IS the flat ring.
+    if topo.num_nodes() == comm.size() {
+        return ring_reduce_scatter_chunked_by(comm, segments, merge, chunks);
+    }
+    match fold_phase(comm, &topo, segments, merge, chunks)? {
+        Folded::NonLeader => Ok(Vec::new()),
+        Folded::Leader { segments, sub } => {
+            ring_reduce_scatter_chunked_by(&sub, segments, merge, chunks)
+        }
+    }
+}
+
+/// Hierarchical allreduce with [`Segment::merge_from`], `C = 1`.
+pub fn hierarchical_allreduce<S: Segment>(comm: &RingComm, segments: Vec<S>) -> NetResult<Vec<S>> {
+    hierarchical_allreduce_chunked_by(
+        comm,
+        segments,
+        &|acc: &mut S, incoming: S| acc.merge_from(&incoming),
+        1,
+    )
+}
+
+/// Full hierarchical allreduce: fold, leader ring reduce-scatter +
+/// allgather, then intra-node broadcast. Every rank returns all `P·L·C`
+/// fully-reduced segments in global order.
+pub fn hierarchical_allreduce_chunked_by<V, F>(
+    comm: &RingComm,
+    segments: Vec<V>,
+    merge: &F,
+    chunks: usize,
+) -> NetResult<Vec<V>>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    let topo = validate(comm, segments.len(), chunks)?;
+    if topo.num_nodes() == comm.size() {
+        return allreduce_chunked_on(comm, segments, merge, chunks);
+    }
+    let me = comm.ring().executor_at(comm.rank()).id;
+    match fold_phase(comm, &topo, segments, merge, chunks)? {
+        Folded::Leader { segments, sub } => {
+            let mut reduced = allreduce_chunked_on(&sub, segments, merge, chunks)?;
+            let group = &topo.groups()[topo.group_of(me)];
+            bcast_phase(comm, group, &mut reduced, chunks * sub.size())?;
+            Ok(reduced)
+        }
+        Folded::NonLeader => {
+            let group = &topo.groups()[topo.group_of(me)];
+            let leader_rank = comm.ring().rank_of(group.leader().id);
+            let p = comm.parallelism();
+            let lc = topo.num_nodes() * chunks;
+            let mut per_channel: Vec<NetResult<Vec<V>>> = Vec::with_capacity(p);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(p);
+                for t in 0..p {
+                    let comm = comm.clone();
+                    handles.push(scope.spawn(move || recv_bcast(&comm, t, leader_rank, lc)));
+                }
+                for h in handles {
+                    per_channel.push(h.join().expect("hier bcast worker panicked"));
+                }
+            });
+            let mut out = Vec::with_capacity(p * lc);
+            for blocks in per_channel {
+                out.extend(blocks?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Symmetric pre-communication validation; returns the node grouping.
+fn validate(comm: &RingComm, got: usize, chunks: usize) -> NetResult<NodeTopology> {
+    if chunks == 0 {
+        return Err(NetError::InvalidAddress(
+            "hierarchical collective needs chunks >= 1".into(),
+        ));
+    }
+    let topo = node_topology_of(comm.ring());
+    let want = comm.parallelism() * topo.num_nodes() * chunks;
+    if got != want {
+        return Err(NetError::InvalidAddress(format!(
+            "hierarchical collective needs P*L*C = {want} segments, got {got}"
+        )));
+    }
+    Ok(topo)
+}
+
+/// Outcome of the intra-node fold for one rank.
+enum Folded<V> {
+    /// This rank sent its contribution to its node leader; it plays no
+    /// further part in the reduce-scatter.
+    NonLeader,
+    /// This rank is a node leader: `segments` now hold the node's folded
+    /// contribution and `sub` is its comm on the leaders-only ring.
+    Leader { segments: Vec<V>, sub: RingComm },
+}
+
+/// Phase 1: members stream their `P·L·C` segments to their node leader
+/// (channel `t` carries channel `t`'s slot range); the leader merges them
+/// in member-id order. Leaders come back with the leaders-only sub-ring
+/// comm (same transport, epoch, cancel token, and deadline).
+fn fold_phase<V, F>(
+    comm: &RingComm,
+    topo: &NodeTopology,
+    mut segments: Vec<V>,
+    merge: &F,
+    chunks: usize,
+) -> NetResult<Folded<V>>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    let ring = comm.ring();
+    let me = ring.executor_at(comm.rank()).id;
+    let group = &topo.groups()[topo.group_of(me)];
+    let p = comm.parallelism();
+    let lc = topo.num_nodes() * chunks;
+
+    if !topo.is_leader(me) {
+        let leader_rank = ring.rank_of(group.leader().id);
+        let mut results: Vec<NetResult<()>> = Vec::with_capacity(p);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            // chunks_mut: exclusive slices make the spawn need only V: Send,
+            // matching the flat ring's bounds (send_fold merely reads).
+            for (t, slots) in segments.chunks_mut(lc).enumerate() {
+                let comm = comm.clone();
+                handles.push(scope.spawn(move || send_fold(&comm, t, leader_rank, slots)));
+            }
+            for h in handles {
+                results.push(h.join().expect("hier fold worker panicked"));
+            }
+        });
+        results.into_iter().collect::<NetResult<Vec<_>>>()?;
+        return Ok(Folded::NonLeader);
+    }
+
+    let mut results: Vec<NetResult<()>> = Vec::with_capacity(p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (t, slots) in segments.chunks_mut(lc).enumerate() {
+            let comm = comm.clone();
+            let members = &group.members;
+            handles.push(scope.spawn(move || recv_fold(&comm, t, members, slots, merge)));
+        }
+        for h in handles {
+            results.push(h.join().expect("hier fold worker panicked"));
+        }
+    });
+    results.into_iter().collect::<NetResult<Vec<_>>>()?;
+
+    let sub = Arc::new(RingTopology::new(topo.leaders(), RingOrder::TopologyAware, p));
+    let sub_rank = sub.rank_of(me);
+    Ok(Folded::Leader { segments, sub: comm.subring(sub, sub_rank) })
+}
+
+/// One channel of a member's fold: its `L·C` slots, in order, to the leader.
+fn send_fold<V: Payload>(
+    comm: &RingComm,
+    channel: usize,
+    leader_rank: usize,
+    slots: &[V],
+) -> NetResult<()> {
+    let pool = pool::global();
+    let (op, attempt) = comm.epoch();
+    let started = sparker_obs::enabled().then(std::time::Instant::now);
+    let mut sent_bytes = 0u64;
+    for s in slots {
+        let frame = s.to_frame_pooled(pool);
+        sent_bytes += frame.len() as u64;
+        comm.send_to_rank(leader_rank, channel, frame)?;
+    }
+    if let Some(t0) = started {
+        sparker_obs::trace::event_dur(
+            sparker_obs::Layer::Step,
+            "hier.fold",
+            t0,
+            &[
+                ("channel", channel as u64),
+                ("rank", comm.rank() as u64),
+                ("peer", leader_rank as u64),
+                ("send_bytes", sent_bytes),
+                ("recv_bytes", 0),
+                ("op", op),
+                ("epoch", attempt as u64),
+            ],
+        );
+    }
+    Ok(())
+}
+
+/// One channel of a leader's fold: merge each non-leader member's slots
+/// (members in id order, slots in order — the deterministic schedule).
+fn recv_fold<V, F>(
+    comm: &RingComm,
+    channel: usize,
+    members: &[ExecutorInfo],
+    slots: &mut [V],
+    merge: &F,
+) -> NetResult<()>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    let pool = pool::global();
+    let ring = comm.ring();
+    let (op, attempt) = comm.epoch();
+    for m in &members[1..] {
+        let from = ring.rank_of(m.id);
+        let started = sparker_obs::enabled().then(std::time::Instant::now);
+        let mut recv_bytes = 0u64;
+        for slot in slots.iter_mut() {
+            let frame = comm.recv_from_rank(from, channel)?;
+            recv_bytes += frame.len() as u64;
+            let incoming = V::from_frame_pooled(frame, pool)?;
+            merge(slot, incoming);
+        }
+        if let Some(t0) = started {
+            sparker_obs::trace::event_dur(
+                sparker_obs::Layer::Step,
+                "hier.fold",
+                t0,
+                &[
+                    ("channel", channel as u64),
+                    ("rank", comm.rank() as u64),
+                    ("peer", from as u64),
+                    ("send_bytes", 0),
+                    ("recv_bytes", recv_bytes),
+                    ("op", op),
+                    ("epoch", attempt as u64),
+                ],
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Phase 3 (allreduce only): the leader streams the fully-reduced segments
+/// back to each of its node's members, channel by channel.
+fn bcast_phase<V: Payload>(
+    comm: &RingComm,
+    group: &sparker_net::topology::NodeGroup,
+    reduced: &mut [V],
+    lc: usize,
+) -> NetResult<()> {
+    let ring = comm.ring();
+    let p = comm.parallelism();
+    let mut results: Vec<NetResult<()>> = Vec::with_capacity(p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        // Exclusive slices for V: Send (the threads only read them).
+        for (t, slots) in reduced.chunks_mut(lc).enumerate() {
+            let comm = comm.clone();
+            let members = &group.members;
+            handles.push(scope.spawn(move || {
+                let pool = pool::global();
+                let (op, attempt) = comm.epoch();
+                for m in &members[1..] {
+                    let to = ring.rank_of(m.id);
+                    let started = sparker_obs::enabled().then(std::time::Instant::now);
+                    let mut sent_bytes = 0u64;
+                    for s in slots.iter() {
+                        let frame = s.to_frame_pooled(pool);
+                        sent_bytes += frame.len() as u64;
+                        comm.send_to_rank(to, t, frame)?;
+                    }
+                    if let Some(t0) = started {
+                        sparker_obs::trace::event_dur(
+                            sparker_obs::Layer::Step,
+                            "hier.bcast",
+                            t0,
+                            &[
+                                ("channel", t as u64),
+                                ("rank", comm.rank() as u64),
+                                ("peer", to as u64),
+                                ("send_bytes", sent_bytes),
+                                ("recv_bytes", 0),
+                                ("op", op),
+                                ("epoch", attempt as u64),
+                            ],
+                        );
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("hier bcast worker panicked"));
+        }
+    });
+    results.into_iter().collect::<NetResult<Vec<_>>>()?;
+    Ok(())
+}
+
+/// One channel of a member's broadcast receive: `lc` slots, in order.
+fn recv_bcast<V: Payload>(
+    comm: &RingComm,
+    channel: usize,
+    leader_rank: usize,
+    lc: usize,
+) -> NetResult<Vec<V>> {
+    let pool = pool::global();
+    let mut out = Vec::with_capacity(lc);
+    for _ in 0..lc {
+        let frame = comm.recv_from_rank(leader_rank, channel)?;
+        out.push(V::from_frame_pooled(frame, pool)?);
+    }
+    Ok(out)
+}
+
+/// Chunk-aware allreduce on an arbitrary ring comm: chunked reduce-scatter,
+/// then one allgather per `(channel, chunk-stream)` pair. With `C = 1` this
+/// is exactly [`crate::allreduce::ring_allreduce_by`]'s schedule.
+fn allreduce_chunked_on<V, F>(
+    comm: &RingComm,
+    segments: Vec<V>,
+    merge: &F,
+    chunks: usize,
+) -> NetResult<Vec<V>>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    let n = comm.size();
+    let p = comm.parallelism();
+    let owned = ring_reduce_scatter_chunked_by(comm, segments, merge, chunks)?;
+    if n == 1 {
+        return Ok(owned.into_iter().map(|o| o.segment).collect());
+    }
+    debug_assert_eq!(owned.len(), p * chunks);
+
+    // Channel t owns the C physical chunks of logical position (rank+1)%n
+    // in its range; allgather each chunk stream c = 0..C in turn. Owned
+    // chunks are moved into their channel's thread (no clone, V: Send).
+    let mut by_channel: Vec<Vec<OwnedSegment<V>>> = (0..p).map(|_| Vec::new()).collect();
+    for o in owned {
+        by_channel[o.index / (n * chunks)].push(o);
+    }
+    let mut per_channel: Vec<NetResult<Vec<(usize, V)>>> = Vec::with_capacity(p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (t, mine) in by_channel.into_iter().enumerate() {
+            let comm = comm.clone();
+            handles.push(scope.spawn(move || {
+                let mut placed = Vec::with_capacity(n * chunks);
+                for o in mine {
+                    let c = o.index % chunks;
+                    let blocks = ring_allgather_pass(&comm, t, o.segment, n)?;
+                    for (j, b) in blocks.into_iter().enumerate() {
+                        placed.push((t * n * chunks + j * chunks + c, b));
+                    }
+                }
+                Ok(placed)
+            }));
+        }
+        for h in handles {
+            per_channel.push(h.join().expect("hier allgather worker panicked"));
+        }
+    });
+
+    let mut out: Vec<Option<V>> = (0..p * n * chunks).map(|_| None).collect();
+    for placed in per_channel {
+        for (idx, v) in placed? {
+            out[idx] = Some(v);
+        }
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i, b)| b.ok_or_else(|| NetError::Codec(format!("allgather missed block {i}"))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ring_reduce_scatter_chunked;
+    use crate::segment::U64SumSegment;
+    use crate::testing::{run_ring_cluster, RingClusterSpec};
+
+    /// Rank r's global segment g holds `(r+1)*1000 + g` everywhere.
+    fn seed(rank: usize, total: usize, elems: usize) -> Vec<U64SumSegment> {
+        (0..total)
+            .map(|g| U64SumSegment(vec![(rank as u64 + 1) * 1000 + g as u64; elems]))
+            .collect()
+    }
+
+    fn expected(g: usize, n: usize) -> u64 {
+        (0..n).map(|r| (r as u64 + 1) * 1000 + g as u64).sum()
+    }
+
+    fn check_hier_reduce_scatter(nodes: usize, epn: usize, p: usize, chunks: usize, elems: usize) {
+        let spec = RingClusterSpec::unshaped(nodes, epn, p);
+        let n = spec.total_executors();
+        let total = p * nodes * chunks;
+        let per_rank = run_ring_cluster(&spec, move |comm| {
+            let segs = seed(comm.rank(), total, elems);
+            let owned = hierarchical_reduce_scatter_chunked_by(
+                &comm,
+                segs,
+                &|a: &mut U64SumSegment, b| a.merge_from(&b),
+                chunks,
+            )
+            .unwrap();
+            let leader = node_topology_of(comm.ring())
+                .is_leader(comm.ring().executor_at(comm.rank()).id);
+            (leader, owned)
+        });
+        let mut seen = vec![false; total];
+        for (leader, owned) in &per_rank {
+            if !leader {
+                assert!(owned.is_empty(), "non-leaders own nothing");
+                continue;
+            }
+            assert_eq!(owned.len(), p * chunks, "leaders own P*C chunks");
+            for o in owned {
+                assert!(!seen[o.index], "chunk {} owned twice", o.index);
+                seen[o.index] = true;
+                let want = expected(o.index, n);
+                assert!(o.segment.0.iter().all(|&v| v == want), "chunk {} wrong", o.index);
+                assert_eq!(o.segment.0.len(), elems);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all chunks covered");
+        assert_eq!(
+            per_rank.iter().filter(|(l, _)| *l).count(),
+            nodes,
+            "one leader per node"
+        );
+    }
+
+    #[test]
+    fn hier_reduce_scatter_two_nodes() {
+        check_hier_reduce_scatter(2, 4, 1, 1, 3);
+    }
+
+    #[test]
+    fn hier_reduce_scatter_chunked_parallel() {
+        check_hier_reduce_scatter(2, 3, 2, 2, 5);
+        check_hier_reduce_scatter(3, 2, 2, 3, 1);
+    }
+
+    #[test]
+    fn hier_reduce_scatter_single_node_degenerate() {
+        // One node: no inter-node ring at all; the leader folds everything.
+        check_hier_reduce_scatter(1, 4, 2, 2, 2);
+        check_hier_reduce_scatter(1, 1, 1, 1, 1);
+    }
+
+    #[test]
+    fn hier_every_rank_its_own_node_equals_flat_ring() {
+        // epn = 1: L == N, the hierarchical path must BE the flat path.
+        let spec = RingClusterSpec::unshaped(4, 1, 2);
+        let chunks = 2;
+        let total = 2 * 4 * chunks;
+        let hier = run_ring_cluster(&spec, move |comm| {
+            hierarchical_reduce_scatter_chunked_by(
+                &comm,
+                seed(comm.rank(), total, 3),
+                &|a: &mut U64SumSegment, b| a.merge_from(&b),
+                chunks,
+            )
+            .unwrap()
+        });
+        let flat = run_ring_cluster(&spec, move |comm| {
+            ring_reduce_scatter_chunked(&comm, seed(comm.rank(), total, 3), chunks).unwrap()
+        });
+        assert_eq!(hier, flat);
+    }
+
+    fn check_hier_allreduce(nodes: usize, epn: usize, p: usize, chunks: usize) {
+        let spec = RingClusterSpec::unshaped(nodes, epn, p);
+        let n = spec.total_executors();
+        let total = p * nodes * chunks;
+        let per_rank = run_ring_cluster(&spec, move |comm| {
+            hierarchical_allreduce_chunked_by(
+                &comm,
+                seed(comm.rank(), total, 2),
+                &|a: &mut U64SumSegment, b| a.merge_from(&b),
+                chunks,
+            )
+            .unwrap()
+        });
+        for result in &per_rank {
+            assert_eq!(result.len(), total);
+            for (g, s) in result.iter().enumerate() {
+                let want = expected(g, n);
+                assert!(s.0.iter().all(|&v| v == want), "segment {g}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_allreduce_matches_oracle_everywhere() {
+        check_hier_allreduce(2, 3, 1, 1);
+        check_hier_allreduce(2, 2, 2, 2);
+        check_hier_allreduce(3, 2, 1, 2);
+        check_hier_allreduce(1, 3, 2, 1);
+        check_hier_allreduce(4, 1, 1, 2);
+    }
+
+    #[test]
+    fn hier_wrong_count_is_a_symmetric_error() {
+        let spec = RingClusterSpec::unshaped(2, 2, 1);
+        let errs = run_ring_cluster(&spec, |comm| {
+            // P*L*C = 2 but we pass 3; and chunks = 0 is always invalid.
+            let bad = hierarchical_reduce_scatter_chunked_by(
+                &comm,
+                seed(comm.rank(), 3, 1),
+                &|a: &mut U64SumSegment, b| a.merge_from(&b),
+                1,
+            )
+            .is_err();
+            let zero = hierarchical_reduce_scatter_chunked_by(
+                &comm,
+                seed(comm.rank(), 2, 1),
+                &|a: &mut U64SumSegment, b| a.merge_from(&b),
+                0,
+            )
+            .is_err();
+            bad && zero
+        });
+        assert!(errs.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn hier_segment_count_helper_matches() {
+        let spec = RingClusterSpec::unshaped(3, 2, 2);
+        let counts = run_ring_cluster(&spec, |comm| {
+            hierarchical_segment_count(comm.ring(), 4)
+        });
+        assert!(counts.iter().all(|&c| c == 2 * 3 * 4));
+    }
+}

@@ -25,6 +25,9 @@
 //!   algorithm ablation.
 //! * [`allreduce::ring_allreduce`] / [`gather`] — reduce-scatter composed
 //!   with allgather/gather, completing the MPI-style collective family.
+//! * [`hierarchical`] — the two-level path: intra-node fold to an elected
+//!   node leader, chunked ring over leaders only, optional intra-node
+//!   broadcast; NIC bytes shrink by the executors-per-node factor.
 //!
 //! All algorithms are written against [`comm::RingComm`] — a rank-bound view
 //! of a transport plus ring topology — so the same code runs unshaped in unit
@@ -35,12 +38,17 @@ pub mod comm;
 pub mod composite;
 pub mod gather;
 pub mod halving;
+pub mod hierarchical;
 pub mod ring;
 pub mod segment;
 pub mod testing;
 pub mod tree;
 
 pub use comm::RingComm;
+pub use hierarchical::{
+    hierarchical_allreduce, hierarchical_allreduce_chunked_by, hierarchical_reduce_scatter,
+    hierarchical_reduce_scatter_chunked_by, hierarchical_segment_count, node_topology_of,
+};
 pub use composite::{CompositeAgg, CompositeLayout};
 pub use ring::{
     ring_reduce_scatter, ring_reduce_scatter_by, ring_reduce_scatter_chunked,

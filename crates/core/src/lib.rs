@@ -87,6 +87,7 @@
 //! | [`sparker_engine`] | RDDs, driver/executors, tree & split aggregation, IMM |
 //! | [`sparker_ml`] | LR / SVM / LDA with the `AggregationMode` switch |
 //! | [`sparker_data`] | RNG, libsvm, synthetic Table 2 datasets |
+//! | [`sparker_tuner`] | calibrated cost model + collective algorithm selector |
 //! | `sparker-sim` | discrete-event simulator for paper-scale figures |
 
 pub use sparker_collectives as collectives;
@@ -95,6 +96,7 @@ pub use sparker_engine as engine;
 pub use sparker_ml as ml;
 pub use sparker_net as net;
 pub use sparker_obs as obs;
+pub use sparker_tuner as tuner;
 
 /// Ready-made SAI callbacks for dense `f64` aggregators (the shape every
 /// paper workload uses — Figure 7's `Array[Double]` pairs).
@@ -151,7 +153,9 @@ pub mod prelude {
     pub use sparker_engine::ops::allreduce_aggregate::{
         allreduce_aggregate, executor_copy_slot, AllReduceOutput,
     };
-    pub use sparker_engine::ops::split_aggregate::{ImmMode, RsAlgorithm, SplitAggOpts};
+    pub use sparker_engine::ops::split_aggregate::{
+        ImmMode, RsAlgorithm, SelectorOpts, SplitAggOpts,
+    };
     pub use sparker_engine::ops::tree_aggregate::TreeAggOpts;
     pub use sparker_ml::glm::AggregationMode;
     pub use sparker_ml::lbfgs::LbfgsConfig;

@@ -53,7 +53,7 @@ pub use config::ClusterSpec;
 pub use cost::CostModel;
 pub use dataset::Dataset;
 pub use metrics::AggMetrics;
-pub use ops::split_aggregate::SplitAggOpts;
+pub use ops::split_aggregate::{SelectorOpts, SplitAggOpts};
 pub use ops::tree_aggregate::TreeAggOpts;
 pub use rdd::{Data, Rdd, RddId};
 pub use task::EngineError;

@@ -21,6 +21,9 @@ pub enum AggStrategy {
     Split,
     /// Split aggregation with recursive halving instead of the ring.
     SplitHalving,
+    /// Split aggregation with the two-level (intra-node fold + inter-node
+    /// ring) hierarchical reduce-scatter.
+    SplitHier,
 }
 
 impl AggStrategy {
@@ -30,6 +33,7 @@ impl AggStrategy {
             AggStrategy::TreeImm => "tree+imm",
             AggStrategy::Split => "split",
             AggStrategy::SplitHalving => "split-halving",
+            AggStrategy::SplitHier => "split-hier",
         }
     }
 }
@@ -131,6 +135,7 @@ mod tests {
         assert_eq!(AggStrategy::TreeImm.name(), "tree+imm");
         assert_eq!(AggStrategy::Split.name(), "split");
         assert_eq!(AggStrategy::SplitHalving.name(), "split-halving");
+        assert_eq!(AggStrategy::SplitHier.name(), "split-hier");
     }
 
     #[test]

@@ -52,7 +52,8 @@
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use sparker_collectives::ring::ring_reduce_scatter_chunked_by;
+use sparker_collectives::hierarchical::hierarchical_reduce_scatter_chunked_by;
+use sparker_collectives::ring::{ring_reduce_scatter_chunked_by, OwnedSegment};
 use sparker_collectives::RingComm;
 use sparker_net::codec::{Decoder, Encoder, F64Array, Payload};
 use sparker_net::error::{NetError, NetResult};
@@ -72,6 +73,12 @@ pub const KILLED_EXIT_CODE: i32 = 13;
 
 /// Sentinel for "no rank" in the fault-injection fields.
 pub const NO_RANK: u32 = u32::MAX;
+
+/// [`JobSpec::algo`]: flat/chunked ring reduce-scatter (the default).
+pub const ALGO_RING: u8 = 0;
+/// [`JobSpec::algo`]: two-level hierarchical reduce-scatter — intra-node
+/// fold to node leaders, chunked ring over the leaders-only sub-ring.
+pub const ALGO_HIER: u8 = 1;
 
 fn counter_cached(cell: &'static OnceLock<Arc<Counter>>, name: &'static str) -> &'static Arc<Counter> {
     cell.get_or_init(|| metrics::counter(name))
@@ -164,6 +171,13 @@ pub struct JobSpec {
     pub parallelism: usize,
     /// Pipeline chunks per ring slot (`C`).
     pub chunks: usize,
+    /// Reduction algorithm: [`ALGO_RING`] (flat/chunked ring, the default)
+    /// or [`ALGO_HIER`] (two-level hierarchical reduce-scatter).
+    pub algo: u8,
+    /// Emulated node count for [`ALGO_HIER`]: members are blocked into this
+    /// many host groups by ring position (deterministic across view
+    /// changes). 0 keeps the legacy layout where every rank is its own node.
+    pub nodes: usize,
     /// Gang attempt — the `attempt` half of the epoch fence.
     pub attempt: u32,
     /// Epoch namespace ([`sparker_net::epoch::namespaced`]) folded into the
@@ -206,6 +220,8 @@ impl JobSpec {
             total_parts,
             parallelism: 2,
             chunks: 2,
+            algo: ALGO_RING,
+            nodes: 0,
             attempt: 0,
             epoch_ns: 0,
             recv_deadline_ms: 2_000,
@@ -238,6 +254,8 @@ impl Payload for JobSpec {
         enc.put_usize(self.total_parts);
         enc.put_usize(self.parallelism);
         enc.put_usize(self.chunks);
+        enc.put_u8(self.algo);
+        enc.put_usize(self.nodes);
         enc.put_u32(self.attempt);
         enc.put_u32(self.epoch_ns);
         enc.put_u64(self.recv_deadline_ms);
@@ -262,6 +280,8 @@ impl Payload for JobSpec {
         let total_parts = dec.get_usize()?;
         let parallelism = dec.get_usize()?;
         let chunks = dec.get_usize()?;
+        let algo = dec.get_u8()?;
+        let nodes = dec.get_usize()?;
         let attempt = dec.get_u32()?;
         let epoch_ns = dec.get_u32()?;
         let recv_deadline_ms = dec.get_u64()?;
@@ -285,6 +305,8 @@ impl Payload for JobSpec {
             total_parts,
             parallelism,
             chunks,
+            algo,
+            nodes,
             attempt,
             epoch_ns,
             recv_deadline_ms,
@@ -298,7 +320,7 @@ impl Payload for JobSpec {
     }
 
     fn size_hint(&self) -> usize {
-        89 + 8 + self.view.size_hint() + 8 + self.assigned.iter().map(|p| 8 + 8 * p.len()).sum::<usize>()
+        106 + self.view.size_hint() + 8 + self.assigned.iter().map(|p| 8 + 8 * p.len()).sum::<usize>()
     }
 }
 
@@ -618,16 +640,45 @@ fn segment_len(dim: usize, count: usize) -> usize {
 /// Ring infos over `members` (absolute ranks ascending). ExecutorIds are the
 /// absolute ranks, so transport addressing is unchanged while ring positions
 /// compact to `0..members.len()`.
-fn member_infos(members: &[u32]) -> Vec<ExecutorInfo> {
+///
+/// With `nodes == 0` every rank is its own (trivial) node. With `nodes > 0`
+/// members are blocked into `min(nodes, members.len())` emulated hosts *by
+/// position* in the (shared, view-ordered) member list, so every rank —
+/// including survivors after a view change — derives the same grouping and
+/// hierarchical collectives elect the same leaders everywhere.
+fn member_infos(members: &[u32], nodes: usize) -> Vec<ExecutorInfo> {
+    let len = members.len().max(1);
+    let k = nodes.min(len);
     members
         .iter()
-        .map(|&m| ExecutorInfo {
-            id: ExecutorId(m),
-            host: format!("proc-{m:03}"),
-            node: m as usize,
-            cores: 1,
+        .enumerate()
+        .map(|(pos, &m)| {
+            let node = if k == 0 { m as usize } else { pos * k / len };
+            ExecutorInfo {
+                id: ExecutorId(m),
+                host: if k == 0 {
+                    format!("proc-{m:03}")
+                } else {
+                    format!("emunode-{node:03}")
+                },
+                node,
+                cores: 1,
+            }
         })
         .collect()
+}
+
+/// Segments the reduce-scatter leaves distributed over a `ring_size`-member
+/// ring under `spec`'s algorithm: `P·N·C` for the ring family, `P·L·C` for
+/// the hierarchical path (only node leaders own segments). The driver's
+/// reassembly and every executor must agree on this number.
+fn job_segment_count(spec: &JobSpec, ring_size: usize) -> usize {
+    let groups = if spec.algo == ALGO_HIER && spec.nodes > 0 {
+        spec.nodes.min(ring_size)
+    } else {
+        ring_size
+    };
+    spec.parallelism * groups * spec.chunks
 }
 
 // ---------------------------------------------------------------------------
@@ -747,6 +798,24 @@ fn job_err(joined: &Joined, spec: &JobSpec, error: String) -> ExecMsg {
     }
 }
 
+/// Runs the reduce-scatter `spec.algo` names over an already-split segment
+/// vector; both the dense and sparse arms of [`run_job`] go through here.
+fn reduce_scatter_owned<V, F>(
+    comm: &RingComm,
+    segments: Vec<V>,
+    merge: &F,
+    spec: &JobSpec,
+) -> NetResult<Vec<OwnedSegment<V>>>
+where
+    V: Payload,
+    F: Fn(&mut V, V) + Sync,
+{
+    match spec.algo {
+        ALGO_HIER => hierarchical_reduce_scatter_chunked_by(comm, segments, merge, spec.chunks),
+        _ => ring_reduce_scatter_chunked_by(comm, segments, merge, spec.chunks),
+    }
+}
+
 fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
     let rank = joined.rank;
     let n = joined.n;
@@ -795,10 +864,13 @@ fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
             return job_err(joined, spec, format!("view member {m} is down: {detail}"));
         }
     }
+    if spec.algo > ALGO_HIER {
+        return job_err(joined, spec, format!("unknown reduction algorithm {}", spec.algo));
+    }
     let agg = local_aggregate(spec, &spec.assigned[rank]);
 
     let ring = Arc::new(RingTopology::new(
-        member_infos(&members),
+        member_infos(&members, spec.nodes),
         RingOrder::ById,
         spec.parallelism,
     ));
@@ -830,25 +902,20 @@ fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
         let _ = joined.transport.kill_connection(spec.drop_peer as usize);
     }
 
-    let seg_count = spec.parallelism * members.len() * spec.chunks;
+    let seg_count = job_segment_count(spec, members.len());
     let result: NetResult<Vec<(u64, ByteBuf)>> = if spec.sparse {
         let segs: Vec<DenseOrSparse> = split_segments(&agg, seg_count)
             .into_iter()
             .map(|v| DenseOrSparse::from_dense(v, spec.threshold))
             .collect();
-        ring_reduce_scatter_chunked_by(
-            &comm,
-            segs,
-            &|a: &mut DenseOrSparse, b: DenseOrSparse| a.merge(&b),
-            spec.chunks,
-        )
-        .map(|owned| {
-            owned.into_iter().map(|o| (o.index as u64, o.segment.to_frame())).collect()
-        })
+        reduce_scatter_owned(&comm, segs, &|a: &mut DenseOrSparse, b: DenseOrSparse| a.merge(&b), spec)
+            .map(|owned| {
+                owned.into_iter().map(|o| (o.index as u64, o.segment.to_frame())).collect()
+            })
     } else {
         let segs: Vec<F64Array> =
             split_segments(&agg, seg_count).into_iter().map(F64Array).collect();
-        ring_reduce_scatter_chunked_by(
+        reduce_scatter_owned(
             &comm,
             segs,
             &|a: &mut F64Array, b: F64Array| {
@@ -857,7 +924,7 @@ fn run_job(joined: &Joined, spec: &JobSpec) -> ExecMsg {
                     *x += y;
                 }
             },
-            spec.chunks,
+            spec,
         )
         .map(|owned| {
             owned.into_iter().map(|o| (o.index as u64, o.segment.to_frame())).collect()
@@ -1227,7 +1294,7 @@ fn assemble(
     ring_size: usize,
     replies: Vec<Vec<(u64, ByteBuf)>>,
 ) -> Result<(Vec<f64>, usize, u64), String> {
-    let seg_count = spec.parallelism * ring_size * spec.chunks;
+    let seg_count = job_segment_count(spec, ring_size);
     let seg_len = segment_len(spec.dim, seg_count);
     let mut value = vec![0.0; spec.dim];
     let mut seen = vec![false; seg_count];
@@ -1353,6 +1420,38 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_job_is_bit_exact_over_real_tcp() {
+        // 4 ranks blocked into 2 emulated nodes: ranks {0,1} on emunode-000,
+        // {2,3} on emunode-001. Leaders (0, 2) own all P*L*C segments.
+        let mut dense = JobSpec::dense(51, 0x41E2, 4096, 9);
+        dense.algo = ALGO_HIER;
+        dense.nodes = 2;
+        let mut sparse = JobSpec::sparse(52, 0x41E3, 4096, 9, 0.02);
+        sparse.algo = ALGO_HIER;
+        sparse.nodes = 2;
+        let outcomes = run_cluster(4, 2, vec![dense.clone(), sparse.clone()]);
+        let o = &outcomes[0];
+        assert_eq!(o.attempts, 1);
+        assert!(!o.used_fallback);
+        assert_eq!(o.wire_segments, 2 * 2 * 2, "P*L*C segments, leaders only");
+        assert_eq!(o.ring_size, 4);
+        assert_eq!(bits(&o.value), bits(&oracle(&dense)));
+        assert_eq!(bits(&outcomes[1].value), bits(&oracle(&sparse)));
+    }
+
+    #[test]
+    fn hierarchical_without_emulated_nodes_degenerates_to_flat() {
+        // nodes == 0 leaves every rank its own node; the hierarchical path
+        // must collapse to the flat ring layout (P*N*C segments).
+        let mut spec = JobSpec::dense(53, 0x41E4, 2048, 6);
+        spec.algo = ALGO_HIER;
+        let outcomes = run_cluster(3, 2, vec![spec.clone()]);
+        let o = &outcomes[0];
+        assert_eq!(o.wire_segments, 2 * 3 * 2);
+        assert_eq!(bits(&o.value), bits(&oracle(&spec)));
+    }
+
+    #[test]
     fn injected_failure_retries_and_fences_stale_frames() {
         let mut spec = JobSpec::dense(31, 0xFA11, 2048, 6);
         spec.fail_rank = 1;
@@ -1386,6 +1485,10 @@ mod tests {
         with_assign.assigned = vec![vec![0, 3], vec![1], vec![2]];
         with_assign.view = MembershipView { generation: 3, members: vec![0, 2, 3] };
         with_assign.epoch_ns = 511;
+        with_assign.algo = ALGO_HIER;
+        with_assign.nodes = 2;
+        let frame = with_assign.to_frame();
+        assert_eq!(frame.len(), with_assign.size_hint(), "JobSpec size_hint must be exact");
         for msg in [
             DriverMsg::Run(with_assign.clone()),
             DriverMsg::Fallback { id: 7, spec: with_assign, parts: vec![0, 1, 2, 3] },

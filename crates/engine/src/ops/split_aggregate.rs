@@ -33,8 +33,11 @@ use sparker_net::codec::{Decoder, Encoder, Payload};
 use sparker_net::topology::ExecutorId;
 
 use sparker_collectives::halving::recursive_halving_reduce_scatter_by;
+use sparker_collectives::hierarchical::{hierarchical_reduce_scatter_chunked_by, node_topology_of};
 use sparker_collectives::ring::{ring_reduce_scatter_chunked_by, OwnedSegment};
 use sparker_collectives::segment::slice_bounds;
+
+use sparker_tuner::{Algo, CostModel, Decision, JobShape, Selector};
 
 use crate::cluster::{LocalCluster, RecoveryPolicy};
 use crate::metrics::{AggMetrics, AggStrategy};
@@ -56,6 +59,27 @@ pub enum RsAlgorithm {
     Ring,
     /// Recursive halving (Rabenseifner) — the ablation alternative.
     Halving,
+    /// Two-level hierarchical reduce-scatter: intra-node fold to node
+    /// leaders, chunked ring over the leaders-only sub-ring (see
+    /// `sparker_collectives::hierarchical` and DESIGN.md §5j).
+    Hierarchical,
+}
+
+/// How `split_aggregate` picks its reduction algorithm (DESIGN.md §5j).
+///
+/// `None` on [`SplitAggOpts::selector`] keeps the legacy behavior: run
+/// exactly `SplitAggOpts::{algorithm, chunks}`. Both variants are `Copy`
+/// (the cost model is five scalars), so `SplitAggOpts` stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectorOpts {
+    /// Run this tuner-menu entry, overriding `algorithm`/`chunks`.
+    /// `Algo::Tree` runs the shuffle-tree path as the *primary* (no
+    /// downgrade accounting), which the legacy knobs cannot express.
+    Forced(Algo),
+    /// Rank the full menu under this calibrated cost model using the
+    /// cluster's node topology and the `hint_*` fields, and run the
+    /// predicted-fastest algorithm.
+    Auto(CostModel),
 }
 
 /// How tasks merge into the shared per-executor aggregator (paper §3.2).
@@ -93,6 +117,16 @@ pub struct SplitAggOpts {
     /// namespaces so their rings can never accept each other's frames. Must
     /// be `< epoch::NS_COUNT`; 0 is the single-job default.
     pub epoch_ns: u32,
+    /// Algorithm selection policy; `None` (default) honors
+    /// `algorithm`/`chunks` exactly as before the tuner existed.
+    pub selector: Option<SelectorOpts>,
+    /// Dense wire size of one aggregator in bytes, for [`SelectorOpts::Auto`]
+    /// cost prediction. 0 (unknown) is treated as 1 byte, which makes the
+    /// prediction latency-dominated.
+    pub hint_bytes: u64,
+    /// Expected non-zero fraction of the aggregator in permille for
+    /// [`SelectorOpts::Auto`]; 1000 (the default) means fully dense.
+    pub hint_density_permille: u32,
 }
 
 impl Default for SplitAggOpts {
@@ -104,6 +138,9 @@ impl Default for SplitAggOpts {
             chunks: 1,
             job_id: 0,
             epoch_ns: 0,
+            selector: None,
+            hint_bytes: 0,
+            hint_density_permille: 1000,
         }
     }
 }
@@ -152,17 +189,56 @@ where
     if opts.chunks == 0 {
         return Err(EngineError::Invalid("split_aggregate needs chunks >= 1".into()));
     }
-    if opts.chunks > 1 && opts.algorithm != RsAlgorithm::Ring {
-        return Err(EngineError::Invalid(
-            "chunk pipelining (chunks > 1) requires RsAlgorithm::Ring".into(),
-        ));
-    }
     if opts.epoch_ns >= sparker_net::epoch::NS_COUNT {
         return Err(EngineError::Invalid(format!(
             "epoch namespace {} out of range (< {})",
             opts.epoch_ns,
             sparker_net::epoch::NS_COUNT
         )));
+    }
+
+    // --- Algorithm selection (DESIGN.md §5j) -----------------------------
+    // Resolve the selector policy to an effective (algorithm, chunks,
+    // tree_primary) triple. `tuning` keeps the selector + decision around so
+    // the measured reduce time can be fed back as the
+    // `tuner.predict_vs_actual_permille` gauge.
+    let picked: Option<Algo> = match opts.selector {
+        None => None,
+        Some(SelectorOpts::Forced(algo)) => Some(algo),
+        Some(SelectorOpts::Auto(_)) => None, // resolved below with the topology
+    };
+    let mut tuning: Option<(Selector, Decision)> = None;
+    let picked = if let Some(SelectorOpts::Auto(model)) = opts.selector {
+        let topo = sparker_net::NodeTopology::group(inner.executor_infos());
+        let shape = JobShape {
+            bytes: opts.hint_bytes.max(1),
+            density_permille: opts.hint_density_permille.min(1000),
+            executors: nexec,
+            nodes: topo.num_nodes(),
+            parallelism,
+        };
+        let selector = Selector::new(model);
+        let decision = selector.select(&shape);
+        let algo = decision.algo;
+        tuning = Some((selector, decision));
+        Some(algo)
+    } else {
+        picked
+    };
+    let (algorithm, chunks, tree_primary) = match picked {
+        None => (opts.algorithm, opts.chunks, false),
+        Some(Algo::FlatRing) => (RsAlgorithm::Ring, 1, false),
+        Some(Algo::ChunkedRing(c)) => (RsAlgorithm::Ring, c as usize, false),
+        Some(Algo::Halving) => (RsAlgorithm::Halving, 1, false),
+        Some(Algo::Hierarchical) => (RsAlgorithm::Hierarchical, 1, false),
+        // Tree-as-primary reuses the fallback machinery below, entered
+        // deliberately rather than after gang exhaustion.
+        Some(Algo::Tree) => (RsAlgorithm::Ring, 1, true),
+    };
+    if chunks > 1 && !matches!(algorithm, RsAlgorithm::Ring | RsAlgorithm::Hierarchical) {
+        return Err(EngineError::Invalid(
+            "chunk pipelining (chunks > 1) requires RsAlgorithm::Ring or Hierarchical".into(),
+        ));
     }
 
     // Stamp every stage record of this op with the job id; the guard resets
@@ -177,9 +253,10 @@ where
     }
     let _job_stamp = JobStamp(inner.history());
 
-    let strategy = match opts.algorithm {
+    let strategy = match algorithm {
         RsAlgorithm::Ring => AggStrategy::Split,
         RsAlgorithm::Halving => AggStrategy::SplitHalving,
+        RsAlgorithm::Hierarchical => AggStrategy::SplitHier,
     };
     let mut metrics = AggMetrics::new(strategy);
     metrics.job_id = opts.job_id;
@@ -240,9 +317,11 @@ where
     let ring = inner.build_ring(parallelism);
     let n = ring.size();
     // Ring RS needs exactly P*N segments; halving needs a multiple of the
-    // largest power of two <= N. Pad the segment count up when needed.
-    let total_segments = match opts.algorithm {
-        RsAlgorithm::Ring => parallelism * n * opts.chunks,
+    // largest power of two <= N; hierarchical needs P*L*C where L is the
+    // number of *nodes* in the ring (leaders own every segment; non-leaders
+    // own none). Pad the segment count up when needed.
+    let total_segments = match algorithm {
+        RsAlgorithm::Ring => parallelism * n * chunks,
         RsAlgorithm::Halving => {
             let mut p2 = 1usize;
             while p2 * 2 <= n {
@@ -250,21 +329,30 @@ where
             }
             (parallelism * n).div_ceil(p2) * p2
         }
+        RsAlgorithm::Hierarchical => parallelism * node_topology_of(&ring).num_nodes() * chunks,
     };
 
     let ring_label = format!("split-ring-op{op}");
     let all_execs: Vec<ExecutorId> = (0..nexec).map(|e| ExecutorId(e as u32)).collect();
     let split = Arc::new(split_op);
     let reduce = Arc::new(reduce_op);
-    let ring_outcome = {
+    let ring_outcome = if tree_primary {
+        // The selector decided the collective path loses to the shuffle
+        // tree for this shape; enter the tree arm below directly, with the
+        // per-executor aggregators intact (only the IMM stage has run).
+        Err(EngineError::TaskFailed {
+            stage: ring_label.clone(),
+            task: 0,
+            attempts: 0,
+            reason: "selector chose tree aggregation as the primary path".into(),
+        })
+    } else {
         let inner2 = inner.clone();
         let ring = ring.clone();
         let split = split.clone();
         let reduce = reduce.clone();
         let zero = zero.clone();
         let ser_bytes = ser_bytes.clone();
-        let algorithm = opts.algorithm;
-        let chunks = opts.chunks;
         let epoch_ns = opts.epoch_ns;
         inner.run_stage(
             &ring_label,
@@ -323,6 +411,13 @@ where
                         &comm,
                         segments,
                         &|a: &mut V, b: V| reduce(a, b),
+                    )
+                    .map_err(TaskFailure::from)?,
+                    RsAlgorithm::Hierarchical => hierarchical_reduce_scatter_chunked_by(
+                        &comm,
+                        segments,
+                        &|a: &mut V, b: V| reduce(a, b),
+                        chunks,
                     )
                     .map_err(TaskFailure::from)?,
                 };
@@ -391,14 +486,18 @@ where
             // path is unusable, but the per-executor aggregators are intact
             // (the ring stage only peeked), so finish the op over the
             // BlockManager path with a tree of whole segment vectors —
-            // slower, but recoverable one task at a time.
-            cluster.history().record(
-                &format!("split-downgrade-op{op}"),
-                0,
-                0,
-                std::time::Duration::ZERO,
-            );
-            metrics.downgraded = true;
+            // slower, but recoverable one task at a time. When the selector
+            // chose the tree *as the primary* this is not a downgrade: no
+            // gang ever ran, so nothing is recorded as degraded.
+            if !tree_primary {
+                cluster.history().record(
+                    &format!("split-downgrade-op{op}"),
+                    0,
+                    0,
+                    std::time::Duration::ZERO,
+                );
+                metrics.downgraded = true;
+            }
             let messages = Arc::new(AtomicU64::new(0));
 
             // Seed: each executor splits its aggregator into the full
@@ -528,6 +627,11 @@ where
         inner.executor_ctx(*e).objects.clear_op(op);
     }
     metrics.reduce = reduce_span.finish();
+    if let Some((selector, decision)) = &tuning {
+        // Feed the measured reduce time back: exported traces now carry
+        // predicted/actual permille next to the spans they predicted.
+        selector.observe(decision, metrics.reduce.as_secs_f64());
+    }
 
     let sc_after = cluster.sc_stats();
     metrics.ser_bytes =
@@ -551,7 +655,18 @@ mod tests {
         dim: usize,
         opts: SplitAggOpts,
     ) -> (Vec<f64>, AggMetrics) {
-        let cluster = LocalCluster::new(ClusterSpec::local(executors, cores));
+        run_split_on(ClusterSpec::local(executors, cores), parts, dim, opts)
+    }
+
+    /// Like [`run_split`] but over an arbitrary cluster shape (hierarchical
+    /// paths need `spec.nodes > 1` so executors land on distinct hosts).
+    fn run_split_on(
+        spec: ClusterSpec,
+        parts: usize,
+        dim: usize,
+        opts: SplitAggOpts,
+    ) -> (Vec<f64>, AggMetrics) {
+        let cluster = LocalCluster::new(spec);
         let data: Vec<u64> = (1..=64).collect();
         let expected_count = data.len() as f64;
         let rdd: RddRef<u64> = Arc::new(ParallelCollection::new(data, parts));
@@ -809,6 +924,133 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::Invalid(_)), "{err:?}");
+    }
+
+    /// A 2-node × 3-executor spec: hosts "node-000"/"node-001" interleave
+    /// round-robin, so the hierarchical path has real intra/inter structure.
+    fn two_node_spec() -> ClusterSpec {
+        let mut spec = ClusterSpec::local(6, 2);
+        spec.nodes = 2;
+        spec.executors_per_node = 3;
+        spec
+    }
+
+    #[test]
+    fn hierarchical_algorithm_matches_sequential_sum() {
+        for chunks in [1usize, 2, 3] {
+            let (v, m) = run_split_on(
+                two_node_spec(),
+                8,
+                37,
+                SplitAggOpts {
+                    parallelism: Some(2),
+                    algorithm: RsAlgorithm::Hierarchical,
+                    chunks,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(v, expected(37), "chunks = {chunks}");
+            assert_eq!(m.strategy, AggStrategy::SplitHier);
+            assert_eq!(m.stages, 2);
+            assert!(!m.downgraded);
+        }
+    }
+
+    #[test]
+    fn hierarchical_single_node_degenerates_cleanly() {
+        // One host: every executor folds to a single leader, the leader
+        // sub-ring has size 1, and the result must still be exact.
+        let (v, m) = run_split(
+            4,
+            2,
+            8,
+            31,
+            SplitAggOpts {
+                parallelism: Some(2),
+                algorithm: RsAlgorithm::Hierarchical,
+                ..Default::default()
+            },
+        );
+        assert_eq!(v, expected(31));
+        assert_eq!(m.strategy, AggStrategy::SplitHier);
+    }
+
+    #[test]
+    fn forced_selector_overrides_legacy_knobs() {
+        use sparker_tuner::Algo;
+        // Legacy knobs say flat ring; the forced selector runs hierarchical.
+        let (v, m) = run_split_on(
+            two_node_spec(),
+            8,
+            29,
+            SplitAggOpts {
+                parallelism: Some(2),
+                selector: Some(SelectorOpts::Forced(Algo::Hierarchical)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(v, expected(29));
+        assert_eq!(m.strategy, AggStrategy::SplitHier);
+    }
+
+    #[test]
+    fn forced_tree_is_primary_not_a_downgrade() {
+        use sparker_tuner::Algo;
+        let cluster = LocalCluster::new(two_node_spec());
+        let data: Vec<u64> = (1..=64).collect();
+        let rdd: RddRef<u64> = Arc::new(ParallelCollection::new(data, 8));
+        let (v, m) = split_aggregate(
+            &cluster,
+            rdd,
+            0.0f64,
+            |acc, x| acc + *x as f64,
+            |a, b| *a += b,
+            |u, i, _n| if i == 0 { *u } else { 0.0 },
+            |a, b| *a += b,
+            |segs: Vec<f64>| segs.into_iter().sum::<f64>(),
+            SplitAggOpts {
+                parallelism: Some(2),
+                selector: Some(SelectorOpts::Forced(Algo::Tree)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(v, 2080.0);
+        assert!(!m.downgraded, "a selected tree primary is not a downgrade");
+        assert!(
+            !cluster.history().snapshot().iter().any(|e| e.label.contains("downgrade")),
+            "no downgrade event for a tree primary"
+        );
+    }
+
+    #[test]
+    fn auto_selector_is_exact_and_records_its_decision() {
+        use sparker_tuner::CostModel;
+        sparker_obs::metrics::reset();
+        // 4 MiB dense aggregator on a 2-node cluster: the calibrated-default
+        // model must pick a collective (not tree) and the result stays exact.
+        let (v, m) = run_split_on(
+            two_node_spec(),
+            8,
+            37,
+            SplitAggOpts {
+                parallelism: Some(2),
+                selector: Some(SelectorOpts::Auto(CostModel::default_model())),
+                hint_bytes: 4 << 20,
+                ..Default::default()
+            },
+        );
+        assert_eq!(v, expected(37));
+        assert!(!m.downgraded);
+        let snap = sparker_obs::metrics::snapshot();
+        assert!(
+            snap.iter().any(|s| s.name.starts_with("tuner.selected.")),
+            "selector decision must be exported: {snap:?}"
+        );
+        assert!(
+            snap.iter().any(|s| s.name == "tuner.predict_vs_actual_permille"),
+            "observe() must publish the feedback gauge: {snap:?}"
+        );
     }
 
     #[test]

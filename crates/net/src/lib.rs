@@ -83,5 +83,5 @@ pub use fault::{FaultyTransport, NetFaultPlan};
 pub use pool::{FramePool, PoolStats};
 pub use profile::{LinkProfile, NetProfile, TransportKind};
 pub use tcp::TcpTransport;
-pub use topology::{ExecutorId, ExecutorInfo, RingTopology};
+pub use topology::{ExecutorId, ExecutorInfo, LinkClass, NodeGroup, NodeTopology, RingTopology};
 pub use transport::{MeshTransport, Transport};

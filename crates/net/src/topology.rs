@@ -80,9 +80,7 @@ impl RingTopology {
         assert!(!executors.is_empty(), "ring needs at least one executor");
         assert!(parallelism > 0, "PDR parallelism must be >= 1");
         match order {
-            RingOrder::TopologyAware => {
-                executors.sort_by(|a, b| a.host.cmp(&b.host).then(a.id.cmp(&b.id)));
-            }
+            RingOrder::TopologyAware => order_topology_aware(&mut executors),
             RingOrder::ById => executors.sort_by_key(|e| e.id),
         }
         let max_idx = executors.iter().map(|e| e.id.index()).max().unwrap_or(0);
@@ -163,6 +161,143 @@ impl RingTopology {
     /// Iterates executors in ring order.
     pub fn iter(&self) -> impl Iterator<Item = &ExecutorInfo> {
         self.order.iter()
+    }
+}
+
+/// The paper's executor ordering (§4, Figure 14): sort by `(hostname, id)`
+/// so ring neighbours share physical nodes wherever possible. This is THE
+/// canonical ordering — `RingTopology::new(.., TopologyAware, ..)` and
+/// [`NodeTopology::group`] both call it, so ring ranks and node groups
+/// always agree on who sits next to whom.
+pub fn order_topology_aware(executors: &mut [ExecutorInfo]) {
+    executors.sort_by(|a, b| a.host.cmp(&b.host).then(a.id.cmp(&b.id)));
+}
+
+/// Class of the link between two executors, as seen by the cost model:
+/// shared-memory/loopback within one node vs the NIC between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Both endpoints on the same physical node (shared memory / loopback).
+    IntraNode,
+    /// Endpoints on different nodes — the transfer crosses a NIC.
+    InterNode,
+}
+
+/// One physical node's executor group, in the paper's canonical order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeGroup {
+    /// The locality key all members share (their hostname).
+    pub host: String,
+    /// Members sorted by id — `members[0]` is the elected node leader.
+    pub members: Vec<ExecutorInfo>,
+}
+
+impl NodeGroup {
+    /// The group's elected leader: the lowest-id executor on the node.
+    /// Deterministic, so every member elects the same leader without
+    /// coordination, and re-election after a member death is just
+    /// re-grouping the survivors.
+    pub fn leader(&self) -> &ExecutorInfo {
+        &self.members[0]
+    }
+}
+
+/// Executors grouped by physical node (hostname locality key), the
+/// substrate for hierarchical collectives: intra-node fold to a leader,
+/// inter-node ring over leaders only.
+///
+/// Groups are ordered by hostname and members by id — the same
+/// `(host, id)` sort as [`order_topology_aware`], so a topology-aware
+/// ring visits each group's members consecutively.
+#[derive(Debug, Clone)]
+pub struct NodeTopology {
+    groups: Vec<NodeGroup>,
+    /// `group_of[id.index()]` — group index, `usize::MAX` for non-members.
+    group_of: Vec<usize>,
+}
+
+impl NodeTopology {
+    /// Groups `executors` by hostname. Ids may be sparse (survivor views);
+    /// duplicate hosts collapse into one group.
+    ///
+    /// # Panics
+    /// Panics if `executors` is empty or ids repeat.
+    pub fn group(executors: &[ExecutorInfo]) -> Self {
+        assert!(!executors.is_empty(), "node topology needs at least one executor");
+        let mut sorted: Vec<ExecutorInfo> = executors.to_vec();
+        order_topology_aware(&mut sorted);
+        let max_idx = sorted.iter().map(|e| e.id.index()).max().unwrap_or(0);
+        let mut group_of = vec![usize::MAX; max_idx + 1];
+        let mut groups: Vec<NodeGroup> = Vec::new();
+        for e in sorted {
+            let idx = e.id.index();
+            assert!(group_of[idx] == usize::MAX, "duplicate executor id {}", e.id);
+            match groups.last_mut() {
+                Some(g) if g.host == e.host => {
+                    group_of[idx] = groups.len() - 1;
+                    groups.last_mut().unwrap().members.push(e);
+                }
+                _ => {
+                    group_of[idx] = groups.len();
+                    groups.push(NodeGroup { host: e.host.clone(), members: vec![e] });
+                }
+            }
+        }
+        Self { groups, group_of }
+    }
+
+    /// Number of distinct physical nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of executors across all groups.
+    pub fn num_executors(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+
+    /// All node groups in hostname order.
+    pub fn groups(&self) -> &[NodeGroup] {
+        &self.groups
+    }
+
+    /// Largest group size (executors per node upper bound).
+    pub fn max_group_size(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).max().unwrap_or(0)
+    }
+
+    /// The elected leaders, one per node, in hostname order.
+    pub fn leaders(&self) -> Vec<ExecutorInfo> {
+        self.groups.iter().map(|g| g.leader().clone()).collect()
+    }
+
+    /// Index of the group containing `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member.
+    pub fn group_of(&self, id: ExecutorId) -> usize {
+        let g = self.group_of.get(id.index()).copied().unwrap_or(usize::MAX);
+        assert!(g != usize::MAX, "executor {id} is not in this topology");
+        g
+    }
+
+    /// The leader of `id`'s node.
+    pub fn leader_of(&self, id: ExecutorId) -> ExecutorId {
+        self.groups[self.group_of(id)].leader().id
+    }
+
+    /// Whether `id` is its node's elected leader.
+    pub fn is_leader(&self, id: ExecutorId) -> bool {
+        self.leader_of(id) == id
+    }
+
+    /// Link class between two member executors.
+    pub fn link_class(&self, a: ExecutorId, b: ExecutorId) -> LinkClass {
+        if self.group_of(a) == self.group_of(b) {
+            LinkClass::IntraNode
+        } else {
+            LinkClass::InterNode
+        }
     }
 }
 
@@ -308,5 +443,90 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(ExecutorId(7).to_string(), "exec-7");
+    }
+
+    #[test]
+    fn grouping_collapses_duplicate_hosts() {
+        // Round-robin placement interleaves hosts; grouping must collapse
+        // each host's scattered executors into one group, members id-sorted.
+        let execs = round_robin_layout(3, 4, 1);
+        let topo = NodeTopology::group(&execs);
+        assert_eq!(topo.num_nodes(), 3);
+        assert_eq!(topo.num_executors(), 12);
+        for g in topo.groups() {
+            assert_eq!(g.members.len(), 4);
+            for m in &g.members {
+                assert_eq!(m.host, g.host, "member on the wrong group");
+            }
+            for w in g.members.windows(2) {
+                assert!(w[0].id < w[1].id, "members must be id-sorted");
+            }
+            assert_eq!(g.leader().id, g.members[0].id);
+        }
+        // Groups come out in hostname order, matching the ring sort.
+        let hosts: Vec<&str> = topo.groups().iter().map(|g| g.host.as_str()).collect();
+        assert_eq!(hosts, ["node-000", "node-001", "node-002"]);
+    }
+
+    #[test]
+    fn grouping_matches_topology_aware_ring_order() {
+        // The shared sort means a topology-aware ring walks group 0's
+        // members, then group 1's, etc. — exactly the group concatenation.
+        let execs = round_robin_layout(4, 3, 2);
+        let ring = RingTopology::new(execs.clone(), RingOrder::TopologyAware, 2);
+        let topo = NodeTopology::group(&execs);
+        let ring_ids: Vec<u32> = ring.iter().map(|e| e.id.0).collect();
+        let group_ids: Vec<u32> = topo
+            .groups()
+            .iter()
+            .flat_map(|g| g.members.iter().map(|m| m.id.0))
+            .collect();
+        assert_eq!(ring_ids, group_ids);
+    }
+
+    #[test]
+    fn single_node_degenerate_group() {
+        let execs = round_robin_layout(1, 5, 1);
+        let topo = NodeTopology::group(&execs);
+        assert_eq!(topo.num_nodes(), 1);
+        assert_eq!(topo.max_group_size(), 5);
+        assert_eq!(topo.leaders().len(), 1);
+        assert_eq!(topo.leaders()[0].id, ExecutorId(0), "leader is the lowest id");
+        for e in &execs {
+            assert_eq!(topo.group_of(e.id), 0);
+            assert_eq!(topo.leader_of(e.id), ExecutorId(0));
+            assert_eq!(topo.is_leader(e.id), e.id == ExecutorId(0));
+            assert_eq!(topo.link_class(e.id, ExecutorId(0)), LinkClass::IntraNode);
+        }
+    }
+
+    #[test]
+    fn grouping_survivor_view_reelects_leader() {
+        // Node 0 originally holds {0, 2, 4} (round-robin over 2 nodes);
+        // executor 0 dies — the survivors re-elect 2 as leader.
+        let execs: Vec<ExecutorInfo> = round_robin_layout(2, 3, 1)
+            .into_iter()
+            .filter(|e| e.id.0 != 0)
+            .collect();
+        let topo = NodeTopology::group(&execs);
+        assert_eq!(topo.num_nodes(), 2);
+        assert_eq!(topo.leader_of(ExecutorId(4)), ExecutorId(2));
+        assert!(topo.is_leader(ExecutorId(2)));
+        assert_eq!(topo.link_class(ExecutorId(2), ExecutorId(3)), LinkClass::InterNode);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate executor id")]
+    fn grouping_duplicate_ids_panic() {
+        let mut execs = round_robin_layout(2, 2, 1);
+        execs[3].id = ExecutorId(0);
+        NodeTopology::group(&execs);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in this topology")]
+    fn grouping_nonmember_panics() {
+        let topo = NodeTopology::group(&round_robin_layout(1, 2, 1));
+        topo.group_of(ExecutorId(9));
     }
 }

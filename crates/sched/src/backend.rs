@@ -16,8 +16,10 @@
 use std::sync::Arc;
 
 use sparker_engine::config::ClusterSpec;
-use sparker_engine::multiproc::{part_vector, JobOutcome, JobSpec, MultiProcDriver};
-use sparker_engine::ops::split_aggregate::{split_aggregate, SplitAggOpts};
+use sparker_engine::multiproc::{
+    part_vector, JobOutcome, JobSpec, MultiProcDriver, ALGO_HIER, ALGO_RING,
+};
+use sparker_engine::ops::split_aggregate::{split_aggregate, SelectorOpts, SplitAggOpts};
 use sparker_engine::rdd::RddRef;
 use sparker_engine::rdds::ParallelCollection;
 use sparker_engine::LocalCluster;
@@ -64,15 +66,32 @@ pub struct AggJob {
 /// In-process backend: `lanes` independent [`LocalCluster`]s.
 pub struct EngineBackend {
     lanes: Vec<LocalCluster>,
+    /// Algorithm selection policy stamped onto every job (`None` = the
+    /// engine's legacy flat-ring default).
+    selector: Option<SelectorOpts>,
 }
 
 impl EngineBackend {
     /// `lanes` clusters of `executors`×`cores` each.
     pub fn new(lanes: usize, executors: usize, cores: usize) -> Self {
+        Self::with_spec(lanes, ClusterSpec::local(executors, cores))
+    }
+
+    /// `lanes` clusters of an arbitrary shape (multi-node specs give the
+    /// selector a real topology to pick hierarchical collectives over).
+    pub fn with_spec(lanes: usize, spec: ClusterSpec) -> Self {
         assert!(lanes >= 1, "need at least one lane");
         Self {
-            lanes: (0..lanes).map(|_| LocalCluster::new(ClusterSpec::local(executors, cores))).collect(),
+            lanes: (0..lanes).map(|_| LocalCluster::new(spec.clone())).collect(),
+            selector: None,
         }
+    }
+
+    /// Runs every job under this selection policy (e.g.
+    /// `SelectorOpts::Auto(model)` for calibrated auto-tuning).
+    pub fn with_selector(mut self, selector: SelectorOpts) -> Self {
+        self.selector = Some(selector);
+        self
     }
 
     /// The serial oracle: what [`Backend::run`] must produce, bit-for-bit.
@@ -101,7 +120,13 @@ impl Backend for EngineBackend {
             Arc::new(ParallelCollection::new((0..job.parts as u64).collect(), job.parts));
         let seed = job.seed;
         let dim = job.dim;
-        let opts = SplitAggOpts { job_id: ctx.job_id, epoch_ns: ctx.epoch_ns, ..Default::default() };
+        let opts = SplitAggOpts {
+            job_id: ctx.job_id,
+            epoch_ns: ctx.epoch_ns,
+            selector: self.selector,
+            hint_bytes: (job.dim * 8) as u64,
+            ..Default::default()
+        };
         let (value, _metrics) = split_aggregate(
             cluster,
             rdd,
@@ -139,13 +164,67 @@ impl Backend for EngineBackend {
 /// policy queue and each runs under its own epoch namespace on the wire.
 pub struct MultiProcBackend {
     driver: Arc<Mutex<MultiProcDriver>>,
+    tuning: Option<MultiProcTuning>,
+}
+
+/// Auto-tuning config for [`MultiProcBackend`]: the calibrated cost model
+/// plus the emulated node count stamped into every spec (the TCP mesh has no
+/// physical topology, so the node grouping is part of the experiment setup).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiProcTuning {
+    pub model: sparker_tuner::CostModel,
+    /// Emulated nodes ([`JobSpec::nodes`]); 0 = every rank its own node.
+    pub nodes: usize,
 }
 
 impl MultiProcBackend {
     /// Wraps a shared driver; the caller keeps its own `Arc` for shutdown
     /// and metrics collection after the scheduler is done.
     pub fn new(driver: Arc<Mutex<MultiProcDriver>>) -> Self {
-        Self { driver }
+        Self { driver, tuning: None }
+    }
+
+    /// Picks `algo`/`chunks` per job from the calibrated model instead of
+    /// honoring the spec's own values.
+    pub fn with_tuning(mut self, tuning: MultiProcTuning) -> Self {
+        self.tuning = Some(tuning);
+        self
+    }
+
+    /// Rewrites `spec`'s algorithm fields from a fresh selection over the
+    /// current live-executor count. Exposed for tests and benches.
+    pub fn tune_spec(tuning: &MultiProcTuning, executors: usize, spec: &mut JobSpec) {
+        use sparker_tuner::{Algo, JobShape, Selector};
+        let density_permille = if spec.sparse {
+            ((spec.density * 1000.0).round() as u32).clamp(1, 1000)
+        } else {
+            1000
+        };
+        let shape = JobShape {
+            bytes: (spec.dim * 8) as u64,
+            density_permille,
+            executors: executors.max(1),
+            nodes: if tuning.nodes == 0 { executors.max(1) } else { tuning.nodes.min(executors.max(1)) },
+            parallelism: spec.parallelism,
+        };
+        let decision = Selector::new(tuning.model).select(&shape);
+        spec.nodes = tuning.nodes;
+        match decision.algo {
+            Algo::ChunkedRing(c) => {
+                spec.algo = ALGO_RING;
+                spec.chunks = c as usize;
+            }
+            Algo::Hierarchical => {
+                spec.algo = ALGO_HIER;
+                spec.chunks = 1;
+            }
+            // The TCP mesh runs the ring family only; halving and tree map
+            // to the flat ring (the closest supported path).
+            Algo::FlatRing | Algo::Halving | Algo::Tree => {
+                spec.algo = ALGO_RING;
+                spec.chunks = 1;
+            }
+        }
     }
 }
 
@@ -163,7 +242,11 @@ impl Backend for MultiProcBackend {
         // queue and its namespace is unique among live jobs.
         spec.id = ctx.job_id;
         spec.epoch_ns = ctx.epoch_ns;
-        self.driver.lock().run_job(&spec).map_err(|e| e.to_string())
+        let mut driver = self.driver.lock();
+        if let Some(tuning) = &self.tuning {
+            Self::tune_spec(tuning, driver.alive().len(), &mut spec);
+        }
+        driver.run_job(&spec).map_err(|e| e.to_string())
     }
 }
 
@@ -186,6 +269,37 @@ mod tests {
                 "lane {lane} bit-exact vs serial oracle"
             );
         }
+    }
+
+    #[test]
+    fn engine_backend_with_auto_selector_stays_bit_exact() {
+        use sparker_tuner::CostModel;
+        let mut spec = ClusterSpec::local(4, 1);
+        spec.nodes = 2;
+        spec.executors_per_node = 2;
+        let backend = EngineBackend::with_spec(1, spec)
+            .with_selector(SelectorOpts::Auto(CostModel::default_model()));
+        let job = AggJob { seed: 0xCAFE, dim: 65, parts: 5 };
+        let want = EngineBackend::oracle(&job);
+        let got = backend.run(0, JobCtx { job_id: 3, epoch_ns: 2 }, &job).expect("job runs");
+        assert_eq!(
+            got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "auto-tuned run bit-exact vs serial oracle"
+        );
+    }
+
+    #[test]
+    fn tune_spec_picks_hierarchical_for_big_dense_multi_node() {
+        use sparker_tuner::CostModel;
+        let tuning = MultiProcTuning { model: CostModel::default_model(), nodes: 2 };
+        let mut spec = JobSpec::dense(1, 7, 512 * 1024, 8); // 4 MiB aggregator
+        MultiProcBackend::tune_spec(&tuning, 8, &mut spec);
+        assert_eq!(spec.algo, ALGO_HIER, "4 MiB dense over 2 nodes -> hierarchical");
+        assert_eq!(spec.nodes, 2);
+        let mut tiny = JobSpec::dense(2, 7, 16, 8); // 128 B aggregator
+        MultiProcBackend::tune_spec(&tuning, 8, &mut tiny);
+        assert_eq!(tiny.chunks, 1, "tiny jobs cannot pay per-chunk alphas");
     }
 
     #[test]

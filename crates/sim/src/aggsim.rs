@@ -56,7 +56,11 @@ impl AggSimResult {
     }
 }
 
-fn des_params_for(cluster: &SimCluster, kind: TransportKind, topology_aware: bool) -> DesParams {
+pub(crate) fn des_params_for(
+    cluster: &SimCluster,
+    kind: TransportKind,
+    topology_aware: bool,
+) -> DesParams {
     let mut p = cluster.des_params(topology_aware);
     let sw = kind.software_overhead().as_secs_f64();
     p.latency += sw;

@@ -16,6 +16,9 @@
 //! * [`aggsim`] — op-graph builders for the three aggregation strategies
 //!   (Tree, Tree+IMM, Split) and the reduce-scatter primitive; produces the
 //!   paper's compute/reduce decomposition.
+//! * [`algosim`] — op-graph builders for the tuner's full algorithm menu
+//!   ([`sparker_tuner::Algo`]); the DES ground truth the calibrated
+//!   selector is judged against at paper scale.
 //! * [`p2p`] — closed-form point-to-point latency/throughput model
 //!   (Figures 12–13).
 //! * [`mlrun`] — end-to-end training-loop model for the nine Table 2 × 3
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod aggsim;
+pub mod algosim;
 pub mod cluster;
 pub mod des;
 pub mod mlrun;
@@ -57,6 +61,7 @@ pub mod p2p;
 pub mod workloads;
 
 pub use aggsim::{simulate_aggregation, AggSimResult, Strategy};
+pub use algosim::{ground_truth_margin, model_for, simulate_algo, simulate_rank};
 pub use cluster::SimCluster;
 pub use mlrun::{simulate_training, TrainingBreakdown};
 pub use workloads::{Workload, WorkloadKind};

@@ -53,7 +53,7 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo build --offline --benches
 
-# Deadline-bounded smoke runner for steps 4-8: all of them are "run this
+# Deadline-bounded smoke runner for steps 4-11: all of them are "run this
 # cargo invocation offline, fail the gate on non-zero or on a hang".
 smoke() {
   local sub="$1"
@@ -109,5 +109,14 @@ smoke run --release -p sparker-bench --bin chaos_cluster -- --plan kill
 #     break), and typed queue-full/backpressure rejections. Writes
 #     results/bench_jobs.json + BENCH_8.json.
 smoke run --release -p sparker-bench --bin bench_jobs -- --smoke
+
+# 11. Auto-tuned collectives smoke — bench_collectives in --smoke shape:
+#     scores the full algorithm ladder in the DES (selector within the
+#     calibrated margin of the best static choice, hierarchical beats the
+#     flat ring at AWS scale for dense >=1 MiB), then calibrates a cost
+#     model from real traced flat-ring runs and drives a live hierarchical
+#     allreduce with the selected configuration, bit-exact against the
+#     oracle. Writes results/bench_collectives.json + BENCH_9.json.
+smoke run --release -p sparker-bench --bin bench_collectives -- --smoke
 
 echo "hermetic check passed: built and tested fully offline, path-only deps"

@@ -3,10 +3,11 @@
 #
 #   tier 1  hermeticity + build + full test suite, warnings denied
 #           (tools/check_hermetic.sh under RUSTFLAGS="-D warnings";
-#           check_hermetic's own steps 4-10 cover the chaos gate, trace
+#           check_hermetic's own steps 4-11 cover the chaos gate, trace
 #           export, sparse ablation, the hot-path perf gate, the
 #           3-process launch_cluster smoke, the chaos_cluster kill-plan
-#           smoke, and the multi-job scheduler smoke)
+#           smoke, the multi-job scheduler smoke, and the auto-tuned
+#           collectives smoke)
 #   tier 2  chaos + property suites, each under an explicit wall-clock
 #           bound (a timeout means a fault path regressed into a hang)
 #   tier 3  bench smoke: the self-asserting harnesses in --smoke shape
@@ -59,6 +60,7 @@ run 2 "prop_ml"            timeout 180 cargo test -q --offline -p sparker-repro 
 run 2 "prop_tcp_frames"    timeout 180 cargo test -q --offline -p sparker-repro --test prop_tcp_frames
 run 2 "tcp_reconnect"      timeout 180 cargo test -q --offline -p sparker-repro --test tcp_reconnect
 run 2 "prop_sched"         timeout 180 cargo test -q --offline -p sparker-repro --test prop_sched
+run 2 "prop_tuner"         timeout 180 cargo test -q --offline -p sparker-repro --test prop_tuner
 run 2 "chaos_cluster"      timeout 180 cargo run -q --offline --release -p sparker-bench --bin chaos_cluster -- --smoke
 
 # --- tier 3: bench smoke (self-asserting harnesses) ----------------------
@@ -67,6 +69,7 @@ run 3 "ablation_sparse"    timeout 180 cargo run -q --offline --release -p spark
 run 3 "bench_transport"    timeout 180 cargo run -q --offline --release -p sparker-bench --bin bench_transport -- --smoke
 run 3 "launch_cluster"     timeout 180 cargo run -q --offline --release -p sparker-bench --bin launch_cluster -- --smoke
 run 3 "bench_jobs"         timeout 180 cargo run -q --offline --release -p sparker-bench --bin bench_jobs -- --smoke
+run 3 "bench_collectives"  timeout 180 cargo run -q --offline --release -p sparker-bench --bin bench_collectives -- --smoke
 
 # --- summary -------------------------------------------------------------
 echo
