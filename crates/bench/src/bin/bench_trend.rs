@@ -1,0 +1,135 @@
+//! `BENCH_*.json` trajectory validator — the engine behind
+//! `tools/bench_trend.sh` (CI tier 1).
+//!
+//! The repo root carries one consolidated benchmark artifact per PR that
+//! shipped one (`BENCH_5` hot path, `BENCH_6` transport, `BENCH_8` jobs,
+//! `BENCH_9` collectives, `BENCH_10` paper parity). This binary turns that
+//! pile into a checked time series:
+//!
+//! 1. every `BENCH_*.json` passed on the command line must parse with the
+//!    in-tree JSON parser ([`sparker_obs::json`] — the same parser CI
+//!    uses, so a file that only external tools can read fails here);
+//! 2. each known bench family must carry its required top-level keys
+//!    (schema drift in a committed artifact is a failure, not a warning);
+//! 3. with `--baseline <file>`, `BENCH_10.json`'s headline metrics must
+//!    not regress beyond the stated margin against the previous committed
+//!    run, and its bound-failure count must be zero.
+//!
+//! Numbering holes are tolerated **by design**: PR 7 (chaos/self-healing)
+//! intentionally shipped no bench artifact, so there is no `BENCH_7.json`
+//! and the checker never requires contiguous numbering — it validates the
+//! files it is given, nothing more.
+//!
+//! Exit status: 0 when every file validates (and the trend check, if
+//! requested, holds); 1 with a per-file diagnostic otherwise.
+
+use sparker_obs::json::{parse, Json};
+
+/// Headline metrics of `BENCH_10.json` that must not regress, with the
+/// stated tolerated regression margin (new >= old × MARGIN). DES outputs
+/// are deterministic, so the margin only absorbs deliberate retuning of
+/// the simulation — not noise.
+const TREND_MARGIN: f64 = 0.85;
+const TREND_KEYS: [&str; 3] = ["agg_speedup_max", "geo_mean_e2e", "stacked_speedup"];
+
+/// Required top-level keys per bench family (`"bench"` field value).
+fn required_keys(family: &str) -> &'static [&'static str] {
+    match family {
+        "bench_hotpath" => &["smoke", "shape", "pool", "pipeline", "imm"],
+        "bench_transport" => &["smoke", "shape", "ladder", "tcp_steady_state"],
+        "bench_jobs" => &["mode", "throughput", "fairness", "admission"],
+        "bench_collectives" => &["smoke", "ladder", "calibration", "run"],
+        "paper_eval" => &["smoke", "seed", "headline", "bounds"],
+        _ => &[],
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_trend: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Json {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("{path}: unreadable: {e}")));
+    parse(&body).unwrap_or_else(|e| fail(&format!("{path}: in-tree parser rejected it: {e:?}")))
+}
+
+fn headline_metric(doc: &Json, key: &str, path: &str) -> f64 {
+    doc.get("headline")
+        .and_then(|h| h.get(key))
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail(&format!("{path}: missing headline.{key}")))
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--baseline" {
+            baseline = Some(it.next().unwrap_or_else(|| fail("--baseline needs a path")));
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        fail("no BENCH_*.json files given (usage: bench_trend [--baseline OLD_BENCH_10] FILES..)");
+    }
+
+    let mut bench10: Option<(String, Json)> = None;
+    for path in &files {
+        let doc = load(path);
+        let family = doc
+            .get("bench")
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| fail(&format!("{path}: missing \"bench\" family field")))
+            .to_string();
+        let required = required_keys(&family);
+        if required.is_empty() {
+            fail(&format!("{path}: unknown bench family \"{family}\""));
+        }
+        for key in required {
+            if doc.get(key).is_none() {
+                fail(&format!("{path}: family \"{family}\" requires top-level key \"{key}\""));
+            }
+        }
+        println!("bench_trend: {path}: family \"{family}\" ok ({} required keys)", required.len());
+        if family == "paper_eval" {
+            bench10 = Some((path.to_string(), doc));
+        }
+    }
+
+    if let Some((path, doc)) = &bench10 {
+        let failed = doc
+            .get("bounds")
+            .and_then(|b| b.get("failed"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| fail(&format!("{path}: missing bounds.failed")));
+        if failed != 0.0 {
+            fail(&format!("{path}: committed run has {failed} failed bounds"));
+        }
+        if doc.get("smoke").and_then(|v| v.as_bool()) != Some(false) {
+            fail(&format!("{path}: committed BENCH_10 must be a full-shape run (smoke: false)"));
+        }
+        if let Some(base_path) = &baseline {
+            let base = load(base_path);
+            for key in TREND_KEYS {
+                let old = headline_metric(&base, key, base_path);
+                let new = headline_metric(doc, key, path);
+                if new < old * TREND_MARGIN {
+                    fail(&format!(
+                        "{path}: headline {key} regressed: {new:.3} < {old:.3} x {TREND_MARGIN}"
+                    ));
+                }
+                println!(
+                    "bench_trend: {key}: {old:.3} -> {new:.3} (floor {:.3})",
+                    old * TREND_MARGIN
+                );
+            }
+        } else {
+            println!("bench_trend: no --baseline; headline trend check skipped");
+        }
+    }
+    println!("bench_trend: all {} file(s) validate", files.len());
+}

@@ -95,6 +95,40 @@ impl NetFaultPlan {
         }
         self
     }
+
+    // --- read-side queries -------------------------------------------------
+    //
+    // [`FaultyTransport`] replays plans against a live transport; the DES
+    // (`sparker_sim::elastic`) replays the *same plans* against simulated
+    // op-graphs. These queries expose the plan's verdicts without giving the
+    // replayer mutable access, so both consumers stay in lock-step on what a
+    // given (link, seq) coordinate means.
+
+    /// Would the `n`th (0-based) send on `from -> to` be dropped (either by
+    /// a one-shot drop or a standing partition)?
+    pub fn drops_nth(&self, from: ExecutorId, to: ExecutorId, n: u64) -> bool {
+        self.partitioned.contains(&(from.0, to.0)) || self.drops.contains(&((from.0, to.0), n))
+    }
+
+    /// Injected delivery delay for the `n`th send on `from -> to`, if any.
+    pub fn delay_of_nth(&self, from: ExecutorId, to: ExecutorId, n: u64) -> Option<Duration> {
+        self.delays.get(&((from.0, to.0), n)).copied()
+    }
+
+    /// Would the `n`th send on `from -> to` arrive with a flipped byte?
+    pub fn corrupts_nth(&self, from: ExecutorId, to: ExecutorId, n: u64) -> bool {
+        self.corrupts.contains(&((from.0, to.0), n))
+    }
+
+    /// Send count after which `executor` dies, if it has a kill schedule.
+    pub fn kill_threshold(&self, executor: ExecutorId) -> Option<u64> {
+        self.kills.get(&executor.0).copied()
+    }
+
+    /// Is the directed link `from -> to` under a standing partition?
+    pub fn is_partitioned(&self, from: ExecutorId, to: ExecutorId) -> bool {
+        self.partitioned.contains(&(from.0, to.0))
+    }
 }
 
 #[derive(Debug, Default)]
@@ -328,6 +362,27 @@ mod tests {
         // Reverse direction is untouched.
         net.send(E1, E0, 0, ByteBuf::from_static(b"back")).unwrap();
         assert_eq!(&net.recv(E0, E1, 0).unwrap()[..], b"back");
+    }
+
+    #[test]
+    fn read_side_queries_agree_with_replay_verdicts() {
+        let plan = NetFaultPlan::new()
+            .drop_nth(E0, E1, 1)
+            .delay_nth(E0, E1, 2, Duration::from_millis(7))
+            .corrupt_nth(E1, E0, 0)
+            .kill_after_sends(E0, 5)
+            .partition(&[(E1, E0)]);
+        assert!(!plan.drops_nth(E0, E1, 0));
+        assert!(plan.drops_nth(E0, E1, 1));
+        assert!(plan.drops_nth(E1, E0, 9), "partition drops every seq");
+        assert!(plan.is_partitioned(E1, E0));
+        assert!(!plan.is_partitioned(E0, E1));
+        assert_eq!(plan.delay_of_nth(E0, E1, 2), Some(Duration::from_millis(7)));
+        assert_eq!(plan.delay_of_nth(E0, E1, 3), None);
+        assert!(plan.corrupts_nth(E1, E0, 0));
+        assert!(!plan.corrupts_nth(E0, E1, 0));
+        assert_eq!(plan.kill_threshold(E0), Some(5));
+        assert_eq!(plan.kill_threshold(E1), None);
     }
 
     #[test]

@@ -156,6 +156,77 @@ pub fn stage_breakdown(spans: &[SpanRecord]) -> Breakdown {
 }
 
 // ---------------------------------------------------------------------------
+// Figure series (paper-parity evaluation exporter)
+// ---------------------------------------------------------------------------
+
+/// One plotted series of a paper figure: `(x, y)` points plus axis labels.
+/// The paper-parity harness (`bin/paper_eval`) emits its per-figure curves
+/// as a list of these, so every headline claim ships with the exact series
+/// that backs it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureSeries {
+    /// Figure identifier, e.g. `"fig03_anti_scaling"`.
+    pub figure: String,
+    /// Series name within the figure, e.g. `"tree-reduce"`.
+    pub series: String,
+    /// X-axis meaning, e.g. `"nodes"`.
+    pub x_label: String,
+    /// Y-axis meaning, e.g. `"seconds"`.
+    pub y_label: String,
+    /// The series, in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl FigureSeries {
+    /// Convenience constructor for string-literal call sites.
+    pub fn new(
+        figure: &str,
+        series: &str,
+        x_label: &str,
+        y_label: &str,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        Self {
+            figure: figure.to_string(),
+            series: series.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            points,
+        }
+    }
+}
+
+/// Serializes figure series as a deterministic JSON array (no timestamps,
+/// fixed 9-digit precision — two identical runs produce byte-identical
+/// output), parseable by the in-repo [`crate::json`] parser.
+pub fn figures_json(figures: &[FigureSeries]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in figures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"figure\":\"");
+        escape_json(&f.figure, &mut out);
+        out.push_str("\",\"series\":\"");
+        escape_json(&f.series, &mut out);
+        out.push_str("\",\"x_label\":\"");
+        escape_json(&f.x_label, &mut out);
+        out.push_str("\",\"y_label\":\"");
+        escape_json(&f.y_label, &mut out);
+        out.push_str("\",\"points\":[");
+        for (j, (x, y)) in f.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{x:.9},{y:.9}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Chrome trace-event JSON
 // ---------------------------------------------------------------------------
 
@@ -285,6 +356,32 @@ mod tests {
         assert_eq!(e.get("tid").and_then(|t| t.as_f64()), Some(7.0));
         let args = e.get("args").expect("args");
         assert_eq!(args.get("tasks").and_then(|t| t.as_f64()), Some(4.0));
+    }
+
+    #[test]
+    fn figures_json_round_trips_through_in_repo_parser() {
+        let figs = vec![
+            FigureSeries::new(
+                "fig03_anti_scaling",
+                "tree-\"reduce\"",
+                "nodes",
+                "seconds",
+                vec![(1.0, 111.25), (8.0, 187.5)],
+            ),
+            FigureSeries::new("fig17_e2e", "speedup", "workload", "x", vec![]),
+        ];
+        let out = figures_json(&figs);
+        let v = json::parse(&out).expect("valid json");
+        let arr = v.as_array().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("figure").and_then(|f| f.as_str()), Some("fig03_anti_scaling"));
+        assert_eq!(arr[0].get("series").and_then(|f| f.as_str()), Some("tree-\"reduce\""));
+        let pts = arr[0].get("points").and_then(|p| p.as_array()).expect("points");
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].as_array().unwrap()[1].as_f64(), Some(187.5));
+        assert_eq!(arr[1].get("points").and_then(|p| p.as_array()).map(|p| p.len()), Some(0));
+        // Determinism: rendering is a pure function of the input.
+        assert_eq!(out, figures_json(&figs));
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //! * [`workloads`] — the Table 2 × Table 3 workload grid (dataset profile ×
 //!   model) the figure binaries sweep, with the paper-anchored cost
 //!   constants of the calibration ledger (EXPERIMENTS.md).
+//! * [`elastic`] — elastic/fault scenarios at paper scale: the DES replays
+//!   [`sparker_net::fault::NetFaultPlan`] schedules (leave, join,
+//!   straggler, flapping link, lost frame) against the ring collective.
+//! * [`eval`] — the paper-parity evaluation harness (DESIGN.md §5k): one
+//!   deterministic sweep regenerating every headline figure with each
+//!   claim encoded as a named, self-asserting bound.
 //!
 //! The event engine is exact for uncontended chains — useful as a sanity
 //! anchor before trusting contended runs:
@@ -56,6 +62,8 @@ pub mod aggsim;
 pub mod algosim;
 pub mod cluster;
 pub mod des;
+pub mod elastic;
+pub mod eval;
 pub mod mlrun;
 pub mod p2p;
 pub mod workloads;
@@ -63,5 +71,6 @@ pub mod workloads;
 pub use aggsim::{simulate_aggregation, AggSimResult, Strategy};
 pub use algosim::{ground_truth_margin, model_for, simulate_algo, simulate_rank};
 pub use cluster::SimCluster;
+pub use eval::{run_paper_eval, BoundCheck, BoundOp, BoundViolation, EvalConfig, EvalReport, EvalScale};
 pub use mlrun::{simulate_training, TrainingBreakdown};
 pub use workloads::{Workload, WorkloadKind};

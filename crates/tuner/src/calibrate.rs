@@ -76,6 +76,24 @@ where
     }
 }
 
+/// Fits link parameters from raw `(bytes, seconds)` samples per class —
+/// the span-free entry point used when the samples come from somewhere
+/// other than a live traced run, e.g. the DES: `sparker_sim` replays
+/// point-to-point transfers through its event engine and feeds the
+/// simulated timings here, so the paper-parity selector is calibrated
+/// from *DES traces* exactly the way the live selector is calibrated
+/// from obs spans. A class with fewer than two samples falls back to the
+/// default model's parameters (same rule as [`calibrate_from_spans`]).
+pub fn calibrate_from_samples(intra: &[(f64, f64)], inter: &[(f64, f64)]) -> Calibration {
+    let defaults = CostModel::default_model();
+    Calibration {
+        intra: fit(intra).unwrap_or(defaults.intra),
+        inter: fit(inter).unwrap_or(defaults.inter),
+        intra_samples: intra.len(),
+        inter_samples: inter.len(),
+    }
+}
+
 /// Ordinary least squares for `t = alpha + beta·b`, clamped to physical
 /// values (alpha, beta >= 0). Returns `None` without at least two samples;
 /// with no spread in `b` the slope is unidentifiable, so beta = 0 and
@@ -167,6 +185,29 @@ mod tests {
         let cal = calibrate_from_spans(&[s1, s2, s3], |_, _| Some(LinkClass::InterNode));
         assert_eq!(cal.inter_samples, 0);
         assert_eq!(cal.inter, CostModel::default_model().inter, "defaults survive");
+    }
+
+    #[test]
+    fn sample_calibration_matches_span_calibration() {
+        // The same data through both entry points must fit identically.
+        let (alpha, beta) = (80e-6, 1.0 / 1e9);
+        let raw: Vec<(f64, f64)> = [512u64, 4096, 65536]
+            .iter()
+            .map(|&b| (b as f64, alpha + b as f64 * beta))
+            .collect();
+        let spans: Vec<SpanRecord> = raw
+            .iter()
+            .map(|&(b, t)| step_span("ring.step", 0, 1, b as u64, (t * 1e9) as u64))
+            .collect();
+        let from_spans = calibrate_from_spans(&spans, |_, _| Some(LinkClass::InterNode));
+        let from_samples = calibrate_from_samples(&[], &raw);
+        assert_eq!(from_samples.inter_samples, from_spans.inter_samples);
+        assert!((from_samples.inter.alpha_s - from_spans.inter.alpha_s).abs() < 1e-9);
+        assert!(
+            (from_samples.inter.beta_s_per_byte - from_spans.inter.beta_s_per_byte).abs() < 1e-15
+        );
+        // Empty intra class keeps the defaults.
+        assert_eq!(from_samples.intra, CostModel::default_model().intra);
     }
 
     #[test]

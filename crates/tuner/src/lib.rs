@@ -28,6 +28,6 @@ pub mod calibrate;
 pub mod cost;
 pub mod select;
 
-pub use calibrate::{calibrate_from_spans, Calibration};
+pub use calibrate::{calibrate_from_samples, calibrate_from_spans, Calibration};
 pub use cost::{Algo, CostModel, JobShape, LinkParams};
 pub use select::{Decision, Selector};

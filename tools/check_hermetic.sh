@@ -53,7 +53,7 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo build --offline --benches
 
-# Deadline-bounded smoke runner for steps 4-11: all of them are "run this
+# Deadline-bounded smoke runner for steps 4-12: all of them are "run this
 # cargo invocation offline, fail the gate on non-zero or on a hang".
 smoke() {
   local sub="$1"
@@ -118,5 +118,14 @@ smoke run --release -p sparker-bench --bin bench_jobs -- --smoke
 #     allreduce with the selected configuration, bit-exact against the
 #     oracle. Writes results/bench_collectives.json + BENCH_9.json.
 smoke run --release -p sparker-bench --bin bench_collectives -- --smoke
+
+# 12. Paper-parity eval smoke — paper_eval in --smoke shape (reduced
+#     24-executor/96-core cluster, 3 workloads, shortened ladders): replays
+#     the paper's headline experiments plus the elastic DES scenarios and
+#     checks every named bound at smoke thresholds, writing
+#     results/paper_eval.json (the full-shape BENCH_10.json is only written
+#     by the full run). Deterministic and DES-only, so it adds seconds, not
+#     minutes; a timeout means the sweep or a bound check regressed.
+smoke run --release -p sparker-repro --bin paper_eval -- --smoke
 
 echo "hermetic check passed: built and tested fully offline, path-only deps"
